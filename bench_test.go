@@ -1,0 +1,325 @@
+package repro
+
+// The benchmarks in this file regenerate every table and figure of
+// the paper's evaluation (see DESIGN.md section 4 for the index).
+// Each experiment bench runs the full trial sweep per iteration and
+// reports the headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// both regenerates the results and tracks the simulator's own cost.
+// The formatted tables (the exact rows the paper prints) come from
+// cmd/h2attack; EXPERIMENTS.md records a reference run.
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/h2"
+	"repro/internal/h2sim"
+	"repro/internal/website"
+)
+
+// benchTrials is the per-configuration page-load count used by the
+// experiment benches. The paper used 100; a smaller default keeps
+// `go test -bench=.` under a few minutes while preserving the shapes.
+const benchTrials = 40
+
+// BenchmarkBaselineMultiplexing reproduces the section IV preamble:
+// the default degree of multiplexing of the result HTML (paper: ~98%
+// when multiplexed, not multiplexed in ~32% of loads).
+func BenchmarkBaselineMultiplexing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		clean, mux := 0, 0
+		var degSum float64
+		for t := 0; t < benchTrials; t++ {
+			r := experiment.RunTrial(experiment.TrialParams{
+				Seed: int64(40000 + t), Mode: experiment.ModePassive,
+			})
+			if r.HTMLCleanAny {
+				clean++
+			} else if r.HTMLDegree > 0 {
+				mux++
+				degSum += r.HTMLDegree
+			}
+		}
+		b.ReportMetric(100*float64(clean)/benchTrials, "clean%")
+		if mux > 0 {
+			b.ReportMetric(100*degSum/float64(mux), "meanDegree%")
+		}
+	}
+}
+
+// BenchmarkFig1PassiveBaseline reproduces the Figure 1 contrast on a
+// two-object page: sequential transmissions leak exact sizes,
+// multiplexed ones do not.
+func BenchmarkFig1PassiveBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		identified := 0
+		for t := 0; t < benchTrials; t++ {
+			site := website.TwoObject(7300, 12100)
+			sess := h2sim.NewSession(site, h2sim.SessionConfig{Seed: int64(100 + t)})
+			atk := core.InstallPassive(sess)
+			sess.Run()
+			for _, inf := range atk.Infer() {
+				if inf.Object != nil {
+					identified++
+				}
+			}
+		}
+		b.ReportMetric(float64(identified)/(2*benchTrials)*100, "passiveIdentified%")
+	}
+}
+
+// BenchmarkDelayNoEffect reproduces the section IV-A control: uniform
+// delay must not raise the non-multiplexed fraction.
+func BenchmarkDelayNoEffect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiment.DelaySweep(benchTrials, 42000)
+		b.ReportMetric(rows[0].NotMultiplexedPct, "clean%@0ms")
+		b.ReportMetric(rows[len(rows)-1].NotMultiplexedPct, "clean%@100ms")
+	}
+}
+
+// BenchmarkTableIJitter regenerates Table I (jitter sweep).
+func BenchmarkTableIJitter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiment.TableI(benchTrials, 1)
+		for _, r := range rows {
+			ms := float64(r.Jitter) / float64(time.Millisecond)
+			b.ReportMetric(r.NotMultiplexedPct, "clean%@"+itoa(int(ms))+"ms")
+		}
+	}
+}
+
+// BenchmarkFig5Bandwidth regenerates Figure 5 (bandwidth sweep; the
+// sweep is scaled to the simulator's saturation point, see
+// experiment.Fig5Scale).
+func BenchmarkFig5Bandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiment.Fig5(benchTrials/2, 50000)
+		for _, r := range rows {
+			b.ReportMetric(r.SuccessPct, "success%@"+itoa(r.LabelMbps)+"Mbps")
+		}
+	}
+}
+
+// BenchmarkDropReset regenerates the section IV-D targeted-drop
+// experiment (paper: ~90% success at an 80% drop rate).
+func BenchmarkDropReset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiment.DropSweep(benchTrials, 60000)
+		for _, r := range rows {
+			b.ReportMetric(r.SuccessPct, "success%@"+itoa(int(100*r.DropRate))+"drop")
+		}
+	}
+}
+
+// BenchmarkTableIIAttack regenerates Table II (full-attack prediction
+// accuracy over the HTML + 8 emblem images).
+func BenchmarkTableIIAttack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiment.TableII(benchTrials, 70000)
+		b.ReportMetric(res.SingleTarget[0], "single%HTML")
+		b.ReportMetric(res.AllTargets[0], "all%HTML")
+		b.ReportMetric(res.AllTargets[1], "all%I1")
+		b.ReportMetric(res.AllTargets[8], "all%I8")
+	}
+}
+
+// --- Ablation benches (DESIGN.md section 5) ---
+
+// BenchmarkAblationNoBackpressure measures how baseline multiplexing
+// collapses when server workers ignore the socket buffer.
+func BenchmarkAblationNoBackpressure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		clean := 0
+		for t := 0; t < benchTrials; t++ {
+			r := experiment.RunTrial(experiment.TrialParams{
+				Seed: int64(47000 + t), Mode: experiment.ModePassive,
+				Server: h2sim.ServerConfig{DisableBackpressure: true},
+			})
+			if r.HTMLCleanAny {
+				clean++
+			}
+		}
+		b.ReportMetric(100*float64(clean)/benchTrials, "clean%")
+	}
+}
+
+// BenchmarkAblationNoReset measures the composed attack without the
+// client's reset-streams behaviour.
+func BenchmarkAblationNoReset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		succ := 0
+		for t := 0; t < benchTrials; t++ {
+			r := experiment.RunTrial(experiment.TrialParams{
+				Seed: int64(49000 + t), Mode: experiment.ModeFullAttack,
+				Client: h2sim.ClientConfig{DisableReset: true},
+			})
+			if r.HTMLSuccess() {
+				succ++
+			}
+		}
+		b.ReportMetric(100*float64(succ)/benchTrials, "success%")
+	}
+}
+
+// BenchmarkAblationWideRefetch measures the image-sequence accuracy
+// cost of a wide post-reset refetch window.
+func BenchmarkAblationWideRefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		okPos := 0
+		for t := 0; t < benchTrials; t++ {
+			r := experiment.RunTrial(experiment.TrialParams{
+				Seed: int64(50000 + t), Mode: experiment.ModeFullAttack,
+				Client: h2sim.ClientConfig{RefetchWindow: 24},
+			})
+			for k := 0; k < website.PartyCount; k++ {
+				if r.ImageSuccess(k) {
+					okPos++
+				}
+			}
+		}
+		b.ReportMetric(100*float64(okPos)/float64(benchTrials*website.PartyCount), "posAccuracy%")
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkFullAttackTrial measures the wall-clock cost of one
+// complete simulated attack trial (the unit of every sweep above).
+func BenchmarkFullAttackTrial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.RunTrial(experiment.TrialParams{
+			Seed: int64(90000 + i), Mode: experiment.ModeFullAttack,
+		})
+	}
+}
+
+// BenchmarkBaselineTrial measures one passive page-load trial.
+func BenchmarkBaselineTrial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.RunTrial(experiment.TrialParams{
+			Seed: int64(91000 + i), Mode: experiment.ModePassive,
+		})
+	}
+}
+
+// BenchmarkFramerRoundTrip measures frame encode+decode throughput.
+func BenchmarkFramerRoundTrip(b *testing.B) {
+	f := &h2.DataFrame{StreamID: 1, Data: make([]byte, 1400)}
+	b.SetBytes(1400)
+	for i := 0; i < b.N; i++ {
+		wire := h2.MarshalFrame(f)
+		if _, err := h2.ParseFramePayload(f.Header(), wire[h2.FrameHeaderLen:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHpackEncode measures header-block compression.
+func BenchmarkHpackEncode(b *testing.B) {
+	enc := h2.NewHpackEncoder(4096)
+	fields := []h2.HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":authority", Value: "www.isidewith.test"},
+		{Name: ":path", Value: "/img/emblems/party-C.png"},
+		{Name: "accept", Value: "image/png"},
+	}
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf = enc.AppendHeaderBlock(buf[:0], fields)
+	}
+}
+
+// BenchmarkHpackDecode measures header-block decompression.
+func BenchmarkHpackDecode(b *testing.B) {
+	enc := h2.NewHpackEncoder(4096)
+	block := enc.AppendHeaderBlock(nil, []h2.HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":authority", Value: "www.isidewith.test"},
+		{Name: ":path", Value: "/img/emblems/party-C.png"},
+	})
+	dec := h2.NewHpackDecoder(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.DecodeFull(block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHuffman measures HPACK string coding.
+func BenchmarkHuffman(b *testing.B) {
+	const s = "/results/2020-presidential-quiz?session=abcdef0123456789"
+	b.SetBytes(int64(len(s)))
+	for i := 0; i < b.N; i++ {
+		enc := h2.AppendHuffmanString(nil, s)
+		if _, err := h2.HuffmanDecode(nil, enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDegreeOfMultiplexing measures the trace analysis on a
+// full-attack ground-truth trace.
+func BenchmarkDegreeOfMultiplexing(b *testing.B) {
+	site := website.Survey(website.IdentityPermutation())
+	sess := h2sim.NewSession(site, h2sim.SessionConfig{Seed: 42})
+	core.InstallPassive(sess)
+	sess.Run()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.CopyTransmissions(sess.GroundTruth)
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+// BenchmarkDefenses evaluates the paper's section VII mitigation
+// proposals (extension experiment; see EXPERIMENTS.md).
+func BenchmarkDefenses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiment.Defenses(benchTrials/2, 80000)
+		names := []string{"none", "order", "push", "pad", "both"}
+		for i, r := range rows {
+			name := names[i%len(names)]
+			_ = r.Name
+			b.ReportMetric(r.PosAccuracyPct, "posAcc%"+name)
+		}
+	}
+}
+
+// BenchmarkPairInference measures the paper's section VII "partly
+// multiplexed" extension: identification rate of a two-object
+// multiplexed page, basic vs pair-sum inference.
+func BenchmarkPairInference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		basic, paired := 0, 0
+		for t := 0; t < benchTrials; t++ {
+			site := website.TwoObject(7300, 12100)
+			sess := h2sim.NewSession(site, h2sim.SessionConfig{Seed: int64(300 + t)})
+			atk := core.InstallPassive(sess)
+			sess.Run()
+			recs := atk.Monitor.ResponseRecords()
+			for _, inf := range atk.Predictor.Infer(recs) {
+				if inf.Object != nil && inf.Object.ID == 1 {
+					basic++
+					break
+				}
+			}
+			if core.IdentifiedInPairs(atk.Predictor.InferPairs(recs), 1) {
+				paired++
+			}
+		}
+		b.ReportMetric(100*float64(basic)/benchTrials, "basic%")
+		b.ReportMetric(100*float64(paired)/benchTrials, "paired%")
+	}
+}

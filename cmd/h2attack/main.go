@@ -1,0 +1,128 @@
+// Command h2attack runs the paper's experiments on the simulation
+// stack and prints the tables and series the paper reports.
+//
+// Usage:
+//
+//	h2attack -table1            # Table I (jitter sweep)
+//	h2attack -fig5              # Figure 5 (bandwidth sweep)
+//	h2attack -drops             # Section IV-D (targeted drops)
+//	h2attack -table2            # Table II (full attack accuracy)
+//	h2attack -delay             # Section IV-A control (uniform delay)
+//	h2attack -all               # everything
+//	h2attack -trial -seed 42    # one verbose full-attack trial
+//
+// Use -trials and -seed to control the sweep size and reproducibility.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/website"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		table1   = flag.Bool("table1", false, "reproduce Table I (jitter sweep)")
+		fig5     = flag.Bool("fig5", false, "reproduce Figure 5 (bandwidth sweep)")
+		drops    = flag.Bool("drops", false, "reproduce section IV-D (targeted drops)")
+		table2   = flag.Bool("table2", false, "reproduce Table II (full attack)")
+		delay    = flag.Bool("delay", false, "run the section IV-A uniform-delay control")
+		defenses = flag.Bool("defenses", false, "evaluate the section VII defence proposals")
+		all      = flag.Bool("all", false, "run every experiment")
+		trial    = flag.Bool("trial", false, "run one verbose full-attack trial")
+		trials   = flag.Int("trials", 100, "page loads per configuration")
+		seed     = flag.Int64("seed", 1, "base seed (trial i uses seed+i)")
+	)
+	flag.Parse()
+
+	if *all {
+		*table1, *fig5, *drops, *table2, *delay, *defenses = true, true, true, true, true, true
+	}
+	ran := false
+	if *table1 {
+		fmt.Print(experiment.FormatTableI(experiment.TableI(*trials, *seed)))
+		fmt.Println()
+		ran = true
+	}
+	if *fig5 {
+		fmt.Print(experiment.FormatFig5(experiment.Fig5(*trials, *seed)))
+		fmt.Println()
+		ran = true
+	}
+	if *drops {
+		fmt.Print(experiment.FormatDropSweep(experiment.DropSweep(*trials, *seed)))
+		fmt.Println()
+		ran = true
+	}
+	if *table2 {
+		fmt.Print(experiment.FormatTableII(experiment.TableII(*trials, *seed)))
+		fmt.Println()
+		ran = true
+	}
+	if *delay {
+		fmt.Print(experiment.FormatDelaySweep(experiment.DelaySweep(*trials, *seed)))
+		fmt.Println()
+		ran = true
+	}
+	if *defenses {
+		fmt.Print(experiment.FormatDefenses(experiment.Defenses(*trials, *seed)))
+		fmt.Println()
+		ran = true
+	}
+	if *trial {
+		runOneTrial(*seed)
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		return 2
+	}
+	return 0
+}
+
+// runOneTrial narrates a single full-attack page load.
+func runOneTrial(seed int64) {
+	r := experiment.RunTrial(experiment.TrialParams{
+		Seed: seed,
+		Mode: experiment.ModeFullAttack,
+	})
+	fmt.Printf("seed %d: full paper attack on the survey site\n", seed)
+	fmt.Printf("  connection broken:        %v\n", r.Broken)
+	fmt.Printf("  page completed:           %v (load time %v)\n", r.PageComplete, r.LoadTime)
+	fmt.Printf("  stream resets forced:     %d\n", r.Resets)
+	fmt.Printf("  duplicate requests:       %d\n", r.ReRequests)
+	fmt.Printf("  total retransmissions:    %d\n", r.Retransmissions)
+	fmt.Printf("  result HTML clean copy:   %v (degree of original %.2f)\n", r.HTMLCleanAny, r.HTMLDegree)
+	fmt.Printf("  result HTML identified:   %v\n", r.HTMLIdentified)
+	fmt.Printf("  survey outcome (truth):   %s\n", partyNames(r.TruthOrder))
+	fmt.Printf("  adversary's prediction:   %s\n", partyNames(r.PredOrder))
+	correct := 0
+	for i := range r.TruthOrder {
+		if r.ImageSuccess(i) {
+			correct++
+		}
+	}
+	fmt.Printf("  positions recovered:      %d/%d\n", correct, website.PartyCount)
+}
+
+func partyNames(order [website.PartyCount]int) string {
+	s := ""
+	for i, p := range order {
+		if i > 0 {
+			s += " > "
+		}
+		if p < 0 || p >= website.PartyCount {
+			s += "?"
+			continue
+		}
+		s += website.PartyLabels[p]
+	}
+	return s
+}

@@ -1,0 +1,79 @@
+// Command h2get fetches objects from an HTTP/2 server over real TCP
+// with the repository's from-scratch client. With -burst it issues
+// every request back-to-back on one connection so the server
+// multiplexes the responses, printing per-response timings.
+//
+// Usage:
+//
+//	h2get -addr 127.0.0.1:8443 /results/2020-presidential-quiz
+//	h2get -addr 127.0.0.1:8443 -burst /o1 /o2 /o3
+//	h2get -addr 127.0.0.1:8443 -survey   # the full survey page load
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/h2"
+	"repro/internal/website"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:8443", "server address")
+		burst  = flag.Bool("burst", false, "issue all requests before reading any response")
+		survey = flag.Bool("survey", false, "fetch the whole synthetic survey page")
+	)
+	flag.Parse()
+
+	paths := flag.Args()
+	if *survey {
+		site := website.Survey(website.IdentityPermutation())
+		for _, spec := range site.Schedule {
+			obj, _ := site.Object(spec.ObjectID)
+			paths = append(paths, obj.Path)
+		}
+	}
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "h2get: no paths given (or use -survey)")
+		flag.Usage()
+		return 2
+	}
+
+	cl, err := h2.Dial(*addr, h2.ConnConfig{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "h2get: %v\n", err)
+		return 1
+	}
+	defer cl.Close() //nolint:errcheck // process exit follows
+
+	start := time.Now()
+	if *burst {
+		resps, err := cl.GetMany("h2get.test", paths)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "h2get: %v\n", err)
+			return 1
+		}
+		for i, r := range resps {
+			fmt.Printf("%-40s %d  %6d bytes  (stream %d)\n", paths[i], r.Status, len(r.Body), r.StreamID)
+		}
+	} else {
+		for _, p := range paths {
+			t0 := time.Now()
+			r, err := cl.Get("h2get.test", p)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "h2get: %s: %v\n", p, err)
+				return 1
+			}
+			fmt.Printf("%-40s %d  %6d bytes  %v\n", p, r.Status, len(r.Body), time.Since(t0).Round(time.Microsecond))
+		}
+	}
+	fmt.Printf("total: %d objects in %v\n", len(paths), time.Since(start).Round(time.Millisecond))
+	return 0
+}

@@ -1,0 +1,83 @@
+// Command h2serve serves the synthetic survey website over real TCP
+// using the repository's from-scratch HTTP/2 implementation
+// (prior-knowledge cleartext h2). Pair it with h2get and h2proxy to
+// run the multiplexing-serialization attack against live connections.
+//
+// Usage:
+//
+//	h2serve -addr :8443 [-chunk 1400] [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+
+	"repro/internal/h2"
+	"repro/internal/website"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8443", "listen address")
+		chunk   = flag.Int("chunk", 1400, "DATA frame chunk size (smaller = more interleaving)")
+		verbose = flag.Bool("verbose", false, "log every request")
+	)
+	flag.Parse()
+
+	site := website.Survey(website.IdentityPermutation())
+	handler := h2.HandlerFunc(func(w *h2.ResponseWriter, r *h2.Request) {
+		obj, ok := site.ObjectByPath(r.Path)
+		if !ok {
+			if err := w.WriteHeader(404); err != nil {
+				return
+			}
+			return
+		}
+		if *verbose {
+			log.Printf("GET %s -> %d bytes (stream %d)", r.Path, obj.Size, r.StreamID)
+		}
+		w.SetHeader("content-type", contentType(obj))
+		w.SetHeader("content-length", strconv.Itoa(obj.Size))
+		body := make([]byte, obj.Size)
+		for i := range body {
+			body[i] = byte(obj.ID + i)
+		}
+		if _, err := w.Write(body); err != nil {
+			return
+		}
+	})
+
+	srv := &h2.Server{
+		Handler: handler,
+		Config:  h2.ConnConfig{DataChunkSize: *chunk},
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "h2serve: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("h2serve: serving %s (%d objects) on %s", site.Name, len(site.Objects), ln.Addr())
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintf(os.Stderr, "h2serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func contentType(o website.Object) string {
+	switch o.Kind {
+	case website.KindHTML:
+		return "text/html"
+	case website.KindScript:
+		return "application/javascript"
+	case website.KindStyle:
+		return "text/css"
+	case website.KindImage:
+		return "image/png"
+	default:
+		return "application/octet-stream"
+	}
+}

@@ -1,0 +1,43 @@
+// Pairinference demonstrates the paper's section VII adversary
+// extension: identifying objects even when their transmissions are
+// partly multiplexed, by matching sums of consecutive delimited runs
+// against pairs of candidate object sizes.
+//
+// Run with: go run ./examples/pairinference
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/h2sim"
+	"repro/internal/website"
+)
+
+func main() {
+	const trials = 30
+	basic, paired := 0, 0
+	for i := 0; i < trials; i++ {
+		site := website.TwoObject(7300, 12100)
+		sess := h2sim.NewSession(site, h2sim.SessionConfig{Seed: int64(300 + i)})
+		atk := core.InstallPassive(sess)
+		sess.Run()
+		recs := atk.Monitor.ResponseRecords()
+		for _, inf := range atk.Predictor.Infer(recs) {
+			if inf.Object != nil && inf.Object.ID == 1 {
+				basic++
+				break
+			}
+		}
+		if core.IdentifiedInPairs(atk.Predictor.InferPairs(recs), 1) {
+			paired++
+		}
+	}
+	fmt.Println("passive eavesdropper against a two-object multiplexed page:")
+	fmt.Printf("  delimiter attack identifies O1 in      %2d/%d trials\n", basic, trials)
+	fmt.Printf("  with pair-sum inference it identifies  %2d/%d trials\n", paired, trials)
+	fmt.Println()
+	fmt.Println("Interleaving destroys run boundaries but not totals: the sum")
+	fmt.Println("across consecutive unattributable runs still equals the sum of")
+	fmt.Println("the objects' sizes, which identifies the pair when unambiguous.")
+}

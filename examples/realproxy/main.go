@@ -1,0 +1,215 @@
+// Realproxy demonstrates the attack tooling on REAL network
+// connections (loopback TCP), no simulator involved: it starts the
+// from-scratch HTTP/2 server, places an observing/manipulating proxy
+// in front of it (the compromised gateway), and drives a client
+// through the proxy twice — once with back-to-back requests (the
+// server multiplexes; the frame interleaving at the proxy shows it)
+// and once with the proxy spacing requests out (the transmissions
+// serialize).
+//
+// Run with: go run ./examples/realproxy
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/h2"
+)
+
+// observation is one DATA frame seen at the proxy.
+type observation struct {
+	stream uint32
+	size   int
+	end    bool
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "realproxy: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	log.SetFlags(0)
+
+	// The origin: three objects with distinctive sizes, served in
+	// small DATA chunks so concurrent streams interleave.
+	sizes := map[string]int{"/small": 4200, "/medium": 9100, "/large": 14800}
+	srv := &h2.Server{
+		Handler: h2.HandlerFunc(func(w *h2.ResponseWriter, r *h2.Request) {
+			n, ok := sizes[r.Path]
+			if !ok {
+				_ = w.WriteHeader(404) //nolint:errcheck // demo
+				return
+			}
+			// Stream in chunks with think time so the scheduler can
+			// interleave concurrent responses.
+			body := make([]byte, n)
+			for off := 0; off < len(body); off += 1400 {
+				end := off + 1400
+				if end > len(body) {
+					end = len(body)
+				}
+				if _, err := w.Write(body[off:end]); err != nil {
+					return
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}),
+		Config: h2.ConnConfig{DataChunkSize: 1400},
+	}
+	originLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(originLn) //nolint:errcheck // demo server lives until exit
+	defer srv.Close()      //nolint:errcheck // teardown
+
+	paths := []string{"/large", "/medium", "/small"}
+
+	fmt.Println("== back-to-back requests through an observing proxy ==")
+	obs, err := fetchThroughProxy(originLn.Addr().String(), paths, 0)
+	if err != nil {
+		return err
+	}
+	report(obs, sizes)
+
+	fmt.Println()
+	fmt.Println("== the same fetch with the proxy spacing requests 150ms apart ==")
+	obs, err = fetchThroughProxy(originLn.Addr().String(), paths, 150*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	report(obs, sizes)
+	return nil
+}
+
+// fetchThroughProxy stands up a one-connection observing proxy with
+// optional request spacing, fetches all paths in a burst, and returns
+// the DATA-frame observations in wire order.
+func fetchThroughProxy(origin string, paths []string, spacing time.Duration) ([]observation, error) {
+	proxyLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer proxyLn.Close() //nolint:errcheck // teardown
+
+	var (
+		mu  sync.Mutex
+		obs []observation
+	)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cc, aerr := proxyLn.Accept()
+		if aerr != nil {
+			return
+		}
+		sc, derr := net.Dial("tcp", origin)
+		if derr != nil {
+			_ = cc.Close() //nolint:errcheck // teardown
+			return
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		// client -> server: the pacer re-segments at frame boundaries
+		// and spaces out request HEADERS (the paper's jitter knob).
+		go func() {
+			defer wg.Done()
+			defer sc.(*net.TCPConn).CloseWrite() //nolint:errcheck // half-close
+			pacer := h2.NewRequestPacer(sc, spacing, true)
+			buf := make([]byte, 32<<10)
+			for {
+				n, rerr := cc.Read(buf)
+				if n > 0 {
+					if _, werr := pacer.Write(buf[:n]); werr != nil {
+						return
+					}
+				}
+				if rerr != nil {
+					return
+				}
+			}
+		}()
+		// server -> client: record DATA frames.
+		go func() {
+			defer wg.Done()
+			defer cc.(*net.TCPConn).CloseWrite() //nolint:errcheck // half-close
+			var sc2 h2.FrameScanner
+			buf := make([]byte, 32<<10)
+			for {
+				n, rerr := sc.Read(buf)
+				if n > 0 {
+					frames, _ := sc2.Feed(buf[:n])
+					mu.Lock()
+					for _, f := range frames {
+						if d, ok := f.(*h2.DataFrame); ok {
+							obs = append(obs, observation{d.StreamID, len(d.Data), d.EndStream})
+						}
+					}
+					mu.Unlock()
+					if _, werr := cc.Write(buf[:n]); werr != nil {
+						return
+					}
+				}
+				if rerr != nil {
+					return
+				}
+			}
+		}()
+		wg.Wait()
+	}()
+
+	cl, err := h2.Dial(proxyLn.Addr().String(), h2.ConnConfig{})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cl.GetMany("realproxy.test", paths); err != nil {
+		_ = cl.Close() //nolint:errcheck // teardown
+		return nil, err
+	}
+	_ = cl.Close() //nolint:errcheck // teardown
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	return obs, nil
+}
+
+// report prints the interleaving pattern and the per-run size
+// estimate a delimiter-based adversary would compute.
+func report(obs []observation, sizes map[string]int) {
+	fmt.Print("  wire order (stream ids): ")
+	switches := 0
+	var prev uint32
+	for i, o := range obs {
+		if i > 0 && o.stream != prev {
+			switches++
+		}
+		prev = o.stream
+		fmt.Printf("%d ", o.stream)
+	}
+	fmt.Printf("\n  stream switches mid-flight: %d\n", switches)
+
+	// Delimiter heuristic: a sub-full frame ends a run.
+	run := 0
+	fmt.Println("  delimited runs as the adversary sums them:")
+	for _, o := range obs {
+		run += o.size
+		if o.size < 1400 {
+			verdict := "no unique match"
+			for path, n := range sizes {
+				if run == n {
+					verdict = "matches " + path
+				}
+			}
+			fmt.Printf("    %6d bytes -> %s\n", run, verdict)
+			run = 0
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package analysis computes the evaluation metrics of the paper from
+// ground-truth traces: the degree of multiplexing of each transmitted
+// object copy (the fraction of its bytes interleaved with bytes of
+// another transmission in the same TCP stream), completeness, and the
+// clean-copy success criteria used by Tables I/II and Figure 5.
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// CopyKey identifies one transmitted copy of an object (duplicates
+// from re-requests get distinct CopyIDs).
+type CopyKey struct {
+	ObjectID int
+	CopyID   int
+}
+
+// CopyTransmission summarizes one object copy's presence on the wire.
+type CopyTransmission struct {
+	Key      CopyKey
+	StreamID uint32
+
+	// Start and End bound the copy's DATA bytes in the server's TCP
+	// stream (wire offsets).
+	Start, End int64
+
+	// Bytes is the payload transmitted; Complete reports whether the
+	// final (END_STREAM) frame was sent.
+	Bytes    int
+	Complete bool
+
+	// InterleavedBytes counts payload bytes that fell strictly inside
+	// another copy's transmission span; Degree is the fraction.
+	InterleavedBytes int
+	Degree           float64
+
+	// StartTime and EndTime are the enqueue times of the first and
+	// last DATA frames.
+	StartTime, EndTime time.Duration
+
+	frames []trace.FrameEvent
+}
+
+// CopyTransmissions groups ground-truth frame events by copy and
+// computes each copy's degree of multiplexing. Results are ordered by
+// first wire byte.
+func CopyTransmissions(tr *trace.Trace) []*CopyTransmission {
+	byKey := make(map[CopyKey]*CopyTransmission)
+	var order []*CopyTransmission
+	for _, f := range tr.Frames {
+		if f.Len == 0 {
+			continue // HEADERS marker
+		}
+		k := CopyKey{ObjectID: f.ObjectID, CopyID: f.CopyID}
+		ct := byKey[k]
+		if ct == nil {
+			ct = &CopyTransmission{
+				Key:       k,
+				StreamID:  f.StreamID,
+				Start:     f.Offset,
+				StartTime: f.Time,
+			}
+			byKey[k] = ct
+			order = append(order, ct)
+		}
+		ct.frames = append(ct.frames, f)
+		ct.Bytes += f.Len
+		if end := f.Offset + int64(f.WireLen); end > ct.End {
+			ct.End = end
+		}
+		if f.Time > ct.EndTime {
+			ct.EndTime = f.Time
+		}
+		if f.End {
+			ct.Complete = true
+		}
+	}
+
+	// Degree of multiplexing: a frame of copy X is interleaved when an
+	// adjacent frame on the wire belongs to a different copy whose
+	// transmission span overlaps X's. This matches what the size
+	// side-channel needs: a delimiter-bounded record run is only
+	// attributable to X when no concurrent transmission's records
+	// border X's (sequentially adjacent transmissions do not count —
+	// that is the normal delimited case of Figure 1).
+	var wire []trace.FrameEvent
+	for _, f := range tr.Frames {
+		if f.Len > 0 {
+			wire = append(wire, f)
+		}
+	}
+	sort.Slice(wire, func(i, j int) bool { return wire[i].Offset < wire[j].Offset })
+	overlaps := func(a, b *CopyTransmission) bool {
+		return a.Start < b.End && b.Start < a.End
+	}
+	foreignNeighbor := func(x *CopyTransmission, idx int) bool {
+		f := wire[idx]
+		k := CopyKey{ObjectID: f.ObjectID, CopyID: f.CopyID}
+		if k == x.Key {
+			return false
+		}
+		y := byKey[k]
+		return y != nil && overlaps(x, y)
+	}
+	for i, f := range wire {
+		x := byKey[CopyKey{ObjectID: f.ObjectID, CopyID: f.CopyID}]
+		if x == nil {
+			continue
+		}
+		if (i > 0 && foreignNeighbor(x, i-1)) || (i+1 < len(wire) && foreignNeighbor(x, i+1)) {
+			x.InterleavedBytes += f.Len
+		}
+	}
+	for _, x := range order {
+		if x.Bytes > 0 {
+			x.Degree = float64(x.InterleavedBytes) / float64(x.Bytes)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Start < order[j].Start })
+	return order
+}
+
+// CopiesOf filters transmissions of one object.
+func CopiesOf(copies []*CopyTransmission, objectID int) []*CopyTransmission {
+	var out []*CopyTransmission
+	for _, c := range copies {
+		if c.Key.ObjectID == objectID {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CleanCopy reports whether some complete copy of the object was
+// transmitted with zero multiplexing, and whether the original
+// (first-requested) copy was. The distinction drives the paper's
+// Figure 5 discussion: at high bandwidth many "successes" come from
+// retransmitted copies rather than the original.
+func CleanCopy(copies []*CopyTransmission, objectID int) (anyClean, originalClean bool) {
+	for _, c := range CopiesOf(copies, objectID) {
+		if !c.Complete || c.Degree != 0 {
+			continue
+		}
+		anyClean = true
+		if c.Key.CopyID == 0 {
+			originalClean = true
+		}
+	}
+	return anyClean, originalClean
+}
+
+// OriginalDegree returns the degree of multiplexing of the object's
+// first transmitted copy, or -1 if it never hit the wire.
+func OriginalDegree(copies []*CopyTransmission, objectID int) float64 {
+	for _, c := range copies {
+		if c.Key.ObjectID == objectID && c.Key.CopyID == 0 {
+			return c.Degree
+		}
+	}
+	return -1
+}
+
+// MeanDegree averages the degree of multiplexing over all complete
+// copies of the object (used for the paper's "default degree of
+// multiplexing ~98%" observation).
+func MeanDegree(copies []*CopyTransmission, objectID int) float64 {
+	var sum float64
+	var n int
+	for _, c := range CopiesOf(copies, objectID) {
+		if !c.Complete {
+			continue
+		}
+		sum += c.Degree
+		n++
+	}
+	if n == 0 {
+		return -1
+	}
+	return sum / float64(n)
+}
+
+// CopyCount returns the number of transmissions (original +
+// duplicates) of the object that reached the wire.
+func CopyCount(copies []*CopyTransmission, objectID int) int {
+	return len(CopiesOf(copies, objectID))
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/h2sim"
+)
+
+// AttackConfig is the paper's phase schedule (section V):
+//
+//  1. From the start, add jitter so requests are spaced
+//     Phase1Spacing apart and count GETs.
+//  2. On the TriggerGet-th GET (the result HTML), throttle the
+//     transit links to ThrottleBps and drop DropRate of server→client
+//     application packets for DropDuration, forcing the client to
+//     reset its streams.
+//  3. Afterwards, raise the spacing to Phase2Spacing so the 8
+//     consecutive image files transmit in non-multiplexed form.
+type AttackConfig struct {
+	// Phase1Spacing is the initial inter-request spacing. Paper: 50ms.
+	Phase1Spacing time.Duration
+
+	// TriggerGet is the 1-based index of the GET that starts phase 2.
+	// Paper: 6 (the result HTML). Zero disables phases 2-3 (jitter-
+	// only adversary).
+	TriggerGet int
+
+	// ThrottleBps is the phase-2 bandwidth limit. Paper: 800 Mbps.
+	ThrottleBps int64
+
+	// DropRate is the phase-2 server→client drop probability.
+	// Paper: 0.8.
+	DropRate float64
+
+	// DropDuration is how long drops last. Paper: 6s.
+	DropDuration time.Duration
+
+	// Phase2Spacing is the spacing after the drop phase. Paper: 80ms.
+	Phase2Spacing time.Duration
+}
+
+// PaperAttack returns the exact configuration of the paper's
+// section V attack.
+func PaperAttack() AttackConfig {
+	return AttackConfig{
+		Phase1Spacing: 50 * time.Millisecond,
+		TriggerGet:    6,
+		ThrottleBps:   800_000_000,
+		DropRate:      0.8,
+		DropDuration:  6 * time.Second,
+		Phase2Spacing: 80 * time.Millisecond,
+	}
+}
+
+// Attack wires the adversary's components onto a session's middlebox
+// and runs the phase schedule.
+type Attack struct {
+	Controller *Controller
+	Monitor    *Monitor
+	Predictor  *Predictor
+
+	cfg   AttackConfig
+	phase int
+}
+
+// Install builds the adversary on the session's middlebox. Call
+// before Session.Run.
+func Install(sess *h2sim.Session, cfg AttackConfig) *Attack {
+	a := &Attack{
+		Controller: NewController(sess.Sim, sess.Conn.Path),
+		Monitor:    NewMonitor(sess.Sim),
+		Predictor:  NewPredictor(sess.Site),
+		cfg:        cfg,
+	}
+	a.Controller.Install()
+	sess.Middlebox().Tap = a.Monitor.Tap
+	a.Monitor.OnGet = a.onGet
+	a.Monitor.OnResetBurst = a.onResetBurst
+	a.Controller.SetSpacing(cfg.Phase1Spacing)
+	a.phase = 1
+	if cfg.TriggerGet == 0 {
+		a.phase = 0 // static jitter-only adversary
+	}
+	return a
+}
+
+// InstallPassive wires only the monitor (a classic passive
+// eavesdropper) onto the session, for baselines.
+func InstallPassive(sess *h2sim.Session) *Attack {
+	a := &Attack{
+		Monitor:   NewMonitor(sess.Sim),
+		Predictor: NewPredictor(sess.Site),
+	}
+	sess.Middlebox().Tap = a.Monitor.Tap
+	return a
+}
+
+// Phase reports the current attack phase (0 static, 1 before
+// trigger, 2 drop phase, 3 after).
+func (a *Attack) Phase() int { return a.phase }
+
+func (a *Attack) onGet(count int) {
+	if a.phase != 1 || count != a.cfg.TriggerGet {
+		return
+	}
+	a.phase = 2
+	a.Controller.SetBandwidth(a.cfg.ThrottleBps)
+	a.Controller.StartDrops(a.cfg.DropRate, a.cfg.DropDuration)
+	s := a.Controller.s
+	// The drop phase ends when the client is seen resetting its
+	// streams ("we continue the packet drops ... until the client
+	// sends stream reset"), with the configured duration as a cap.
+	s.After(a.cfg.DropDuration, func() { a.enterPhase3() })
+}
+
+// onResetBurst reacts to the observed RST_STREAM burst.
+func (a *Attack) onResetBurst() {
+	if a.phase == 2 {
+		a.enterPhase3()
+	}
+}
+
+func (a *Attack) enterPhase3() {
+	if a.phase != 2 {
+		return
+	}
+	a.phase = 3
+	a.Controller.StopDrops()
+	a.Controller.SetSpacing(a.cfg.Phase2Spacing)
+}
+
+// Infer runs the predictor over everything the monitor observed.
+func (a *Attack) Infer() []Inference {
+	return a.Predictor.Infer(a.Monitor.ResponseRecords())
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/h2sim"
+	"repro/internal/website"
+)
+
+func TestDebugJitterMechanism(t *testing.T) {
+	for _, spacing := range []time.Duration{25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond} {
+		cleanOrig, cleanDup, mux, resets := 0, 0, 0, 0
+		for i := 0; i < 40; i++ {
+			site := website.Survey(website.IdentityPermutation())
+			sess := h2sim.NewSession(site, h2sim.SessionConfig{Seed: int64(9000 + i), RandomizeAmbient: true})
+			Install(sess, AttackConfig{Phase1Spacing: spacing})
+			sess.Run()
+			copies := analysis.CopyTransmissions(sess.GroundTruth)
+			any, orig := analysis.CleanCopy(copies, website.ResultHTMLID)
+			resets += sess.Client.Stats.Resets
+			switch {
+			case orig:
+				cleanOrig++
+			case any:
+				cleanDup++
+			default:
+				mux++
+			}
+			if i < 3 && spacing == 50*time.Millisecond {
+				for _, c := range analysis.CopiesOf(copies, website.ResultHTMLID) {
+					t.Logf("  seed %d: html copy %d deg %.2f complete %v t[%v %v]", 9000+i, c.Key.CopyID, c.Degree, c.Complete, c.StartTime, c.EndTime)
+				}
+				// what's active in the html window?
+				html := analysis.CopiesOf(copies, website.ResultHTMLID)[0]
+				overl := 0
+				for _, c := range copies {
+					if c != html && c.Start < html.End && html.Start < c.End {
+						overl++
+						if overl <= 6 {
+							t.Logf("    overlaps: obj %d copy %d [%d %d) bytes %d", c.Key.ObjectID, c.Key.CopyID, c.Start, c.End, c.Bytes)
+						}
+					}
+				}
+				t.Logf("    total overlapping copies: %d", overl)
+			}
+		}
+		t.Logf("spacing=%v cleanOrig=%d cleanDup=%d mux=%d resets=%d", spacing, cleanOrig, cleanDup, mux, resets)
+	}
+}

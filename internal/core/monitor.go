@@ -1,0 +1,133 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/tlsrec"
+	"repro/internal/trace"
+)
+
+// Monitor is the adversary's passive observation arm: it reassembles
+// the TCP byte stream of each direction (the middlebox tap), parses
+// the cleartext TLS record headers (the paper's
+// 'ssl.record.content_type==23' tshark filter), counts client
+// requests, and records every observation for the predictor.
+type Monitor struct {
+	s *sim.Simulator
+
+	// Records accumulates every parsed record observation.
+	Records []trace.RecordObs
+
+	// OnGet, when non-nil, is invoked with the running request count
+	// after each client GET record is observed.
+	OnGet func(count int)
+
+	// OnResetBurst, when non-nil, is invoked when a client record too
+	// large to be a GET appears — the batched RST_STREAM frames of a
+	// stream reset (the signal the paper's adversary waits for before
+	// stopping its targeted drops).
+	OnResetBurst func()
+
+	// ResetMinCipher is the ciphertext length above which a client
+	// record is classified as a reset burst. Default 300.
+	ResetMinCipher int
+
+	// MinGetCipher/MaxGetCipher bound the ciphertext length of
+	// records classified as GET requests. Records below the minimum
+	// are control chatter (SETTINGS acks, lone RST_STREAM); HTTP/2
+	// GETs are small thanks to HPACK. Defaults 45/200.
+	MinGetCipher int
+	MaxGetCipher int
+
+	parserC2S tlsrec.StreamParser
+	parserS2C tlsrec.StreamParser
+
+	getCount   int
+	seenFirstC bool // first c->s app record is the client SETTINGS
+}
+
+// NewMonitor builds a monitor. Wire Tap as the middlebox byte tap.
+func NewMonitor(s *sim.Simulator) *Monitor {
+	return &Monitor{s: s, MinGetCipher: 45, MaxGetCipher: 200, ResetMinCipher: 300}
+}
+
+// Tap ingests reassembled stream bytes from the middlebox.
+func (m *Monitor) Tap(dir trace.Direction, b []byte) {
+	var infos []tlsrec.HeaderInfo
+	if dir == trace.ClientToServer {
+		infos = m.parserC2S.Feed(b)
+	} else {
+		infos = m.parserS2C.Feed(b)
+	}
+	for _, h := range infos {
+		obs := trace.RecordObs{
+			Time:        m.s.Now(),
+			Dir:         dir,
+			ContentType: h.ContentType,
+			Length:      h.Length,
+		}
+		m.Records = append(m.Records, obs)
+		if dir == trace.ClientToServer && obs.IsAppData() {
+			m.classifyClientRecord(h)
+		}
+	}
+}
+
+// classifyClientRecord counts GET-like records on the request path.
+func (m *Monitor) classifyClientRecord(h tlsrec.HeaderInfo) {
+	if !m.seenFirstC {
+		// The first application record is the client's SETTINGS.
+		m.seenFirstC = true
+		return
+	}
+	if h.Length >= m.ResetMinCipher {
+		if m.OnResetBurst != nil {
+			m.OnResetBurst()
+		}
+		return
+	}
+	if h.Length < m.MinGetCipher || h.Length > m.MaxGetCipher {
+		return
+	}
+	m.getCount++
+	if m.OnGet != nil {
+		m.OnGet(m.getCount)
+	}
+}
+
+// GetCount returns the number of GET records observed so far.
+func (m *Monitor) GetCount() int { return m.getCount }
+
+// ResponseRecords returns the server→client application-data records
+// observed so far (the predictor's input).
+func (m *Monitor) ResponseRecords() []trace.RecordObs {
+	var out []trace.RecordObs
+	for _, r := range m.Records {
+		if r.Dir == trace.ServerToClient && r.IsAppData() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RequestTimes returns the observation time of each counted GET.
+func (m *Monitor) RequestTimes() []time.Duration {
+	var out []time.Duration
+	count := 0
+	seenFirst := false
+	for _, r := range m.Records {
+		if r.Dir != trace.ClientToServer || !r.IsAppData() {
+			continue
+		}
+		if !seenFirst {
+			seenFirst = true
+			continue
+		}
+		if r.Length >= m.MinGetCipher && r.Length <= m.MaxGetCipher {
+			count++
+			out = append(out, r.Time)
+		}
+	}
+	return out
+}

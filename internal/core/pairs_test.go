@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/h2sim"
+	"repro/internal/website"
+)
+
+func TestInferPairsSingleObjectsStillReported(t *testing.T) {
+	site := website.Survey(website.IdentityPermutation())
+	p := NewPredictor(site)
+	records := objRecords(0, website.ResultHTMLSize)
+	infs := p.InferPairs(records)
+	if len(infs) != 1 || len(infs[0].Objects) != 1 || infs[0].Objects[0].ID != website.ResultHTMLID {
+		t.Fatalf("infs = %+v", infs)
+	}
+	if !IdentifiedInPairs(infs, website.ResultHTMLID) {
+		t.Error("IdentifiedInPairs missed the HTML")
+	}
+}
+
+func TestInferPairsDecomposesInterleavedPair(t *testing.T) {
+	// Two emblems interleaved as in Figure 1 case 2: the two runs sum
+	// to sizeA+sizeB, matching no single object but exactly one pair.
+	site := website.TwoObject(website.EmblemSizes[0], website.EmblemSizes[5])
+	p := NewPredictor(site)
+	a, b := website.EmblemSizes[0], website.EmblemSizes[5]
+
+	// Run 1: all of A's full chunks + B's full chunks + A's delimiter.
+	// Run 2: B's delimiter.
+	var records []struct{}
+	_ = records
+	recs := objRecords(0, a+(b/1400)*1400)          // mixed run ending at A's delimiter
+	recs = append(recs, rec(time.Second, b%1400+9)) // B's trailing partial
+	infs := p.InferPairs(recs)
+	foundPair := false
+	for _, pi := range infs {
+		if len(pi.Objects) == 2 && pi.ContainsObject(1) && pi.ContainsObject(2) {
+			foundPair = true
+		}
+	}
+	if !foundPair {
+		t.Errorf("pair not decomposed: %+v", infs)
+	}
+}
+
+func TestInferPairsRejectsAmbiguousTotals(t *testing.T) {
+	// A site with colliding pair-sums must not produce a pair match.
+	site := &website.Site{
+		Name: "ambiguous",
+		Objects: []website.Object{
+			{ID: 1, Path: "/a", Size: 4000},
+			{ID: 2, Path: "/b", Size: 6000},
+			{ID: 3, Path: "/c", Size: 5000},
+			{ID: 4, Path: "/d", Size: 5010}, // 1+2 = 10000, 3+4 = 10010 (within 2*tol)
+		},
+	}
+	site.Finalize()
+	p := NewPredictor(site)
+	// Two unmatched runs summing to 10005.
+	recs := objRecords(0, 7000)
+	recs = append(recs, objRecords(time.Second, 3005)...)
+	for _, pi := range p.InferPairs(recs) {
+		if len(pi.Objects) == 2 {
+			t.Errorf("ambiguous pair reported: %+v", pi)
+		}
+	}
+}
+
+func TestInferPairsImprovesPassiveAdversary(t *testing.T) {
+	// On the two-object page with back-to-back requests (multiplexed),
+	// the basic predictor identifies nothing but the pair extension
+	// recovers which objects were transferred.
+	basic, paired, trials := 0, 0, 30
+	for i := 0; i < trials; i++ {
+		site := website.TwoObject(7300, 12100)
+		sess := h2sim.NewSession(site, h2sim.SessionConfig{Seed: int64(300 + i)})
+		atk := InstallPassive(sess)
+		sess.Run()
+		recs := atk.Monitor.ResponseRecords()
+		for _, inf := range atk.Predictor.Infer(recs) {
+			if inf.Object != nil && inf.Object.ID == 1 {
+				basic++
+				break
+			}
+		}
+		if IdentifiedInPairs(atk.Predictor.InferPairs(recs), 1) {
+			paired++
+		}
+	}
+	if paired <= basic {
+		t.Errorf("pair inference did not improve: basic %d/%d, paired %d/%d",
+			basic, trials, paired, trials)
+	}
+	t.Logf("passive identification of O1: basic %d/%d, with pairs %d/%d", basic, trials, paired, trials)
+}

@@ -1,0 +1,237 @@
+// Package experiment is the reproduction harness: it runs the
+// paper's experiments trial-by-trial on the simulation stack and
+// prints the same rows and series the paper reports (Table I,
+// Figure 5, the section IV-D drop experiment, and Table II).
+//
+// Every trial is driven by a single seed: the seed determines the
+// survey outcome (party permutation), the client's think time before
+// the result HTML, the ambient network conditions of that session,
+// and all packet-level noise — the variation the paper's ~500
+// volunteer sessions exhibit.
+package experiment
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/h2sim"
+	"repro/internal/netem"
+	"repro/internal/website"
+)
+
+// AdversaryMode selects what is installed at the middlebox. The enum
+// starts at 1 so the zero value is invalid.
+type AdversaryMode uint8
+
+const (
+	// ModePassive is a classic eavesdropper (monitor only).
+	ModePassive AdversaryMode = iota + 1
+	// ModeJitter applies request spacing only.
+	ModeJitter
+	// ModeJitterThrottle applies spacing plus a bandwidth cap.
+	ModeJitterThrottle
+	// ModeFullAttack runs the composed paper attack (spacing →
+	// throttle + targeted drops → raised spacing).
+	ModeFullAttack
+)
+
+// TrialParams configures one page-load trial.
+type TrialParams struct {
+	// Seed drives all per-trial randomness.
+	Seed int64
+
+	// Mode selects the adversary.
+	Mode AdversaryMode
+
+	// Spacing is the request spacing for ModeJitter /
+	// ModeJitterThrottle.
+	Spacing time.Duration
+
+	// Bandwidth is the throttle for ModeJitterThrottle (bits/sec).
+	Bandwidth int64
+
+	// Attack overrides the full-attack configuration; zero value
+	// means core.PaperAttack.
+	Attack core.AttackConfig
+
+	// Server/Client override endpoint knobs (zero values = defaults).
+	Server h2sim.ServerConfig
+	Client h2sim.ClientConfig
+
+	// UniformDelay adds a constant extra one-way delay on both
+	// directions (the paper's section IV-A control experiment).
+	UniformDelay time.Duration
+
+	// FixedAmbient disables per-trial ambient randomization (for
+	// focused unit tests).
+	FixedAmbient bool
+
+	// TimeLimit bounds the trial. Zero = session default.
+	TimeLimit time.Duration
+
+	// CanonicalOrder enables the paper's section VII ordering defence
+	// (images requested in a fixed order regardless of the outcome).
+	CanonicalOrder bool
+
+	// PadBucket enables size padding to the given bucket (bytes).
+	PadBucket int
+
+	// PushEmblems enables the section VII server-push defence: the
+	// server pushes all emblem images in canonical party order when
+	// the result HTML is requested, so the client never requests them
+	// and the wire order carries no secret.
+	PushEmblems bool
+}
+
+// TrialResult is everything the evaluations consume.
+type TrialResult struct {
+	Broken bool
+
+	// HTML verdicts.
+	HTMLCleanAny   bool    // some complete copy transmitted clean
+	HTMLCleanOrig  bool    // the original copy was clean
+	HTMLIdentified bool    // predictor matched the HTML size
+	HTMLDegree     float64 // degree of multiplexing of the original copy
+
+	// Emblem verdicts.
+	TruthOrder [website.PartyCount]int
+	PredOrder  [website.PartyCount]int
+	ImageClean [website.PartyCount]bool // clean copy of i-th requested emblem
+
+	// Traffic counters.
+	Retransmissions int // TCP retransmits + client re-requests
+	ReRequests      int
+	Resets          int
+	PageComplete    bool
+	LoadTime        time.Duration
+
+	// Copies gives the ground-truth transmissions for deeper digs.
+	Copies []*analysis.CopyTransmission
+
+	// Requests is the client's request log (issue times, objects,
+	// re-issues), used for Table II's inter-request timing rows.
+	Requests []h2sim.RequestLog
+}
+
+// Ambient variation bounds: the per-trial server-side one-way delay
+// is drawn from [AmbientDelayLo, AmbientDelayLo+AmbientDelaySpread]
+// and the client think time before the result HTML from
+// [AmbientGapLo, AmbientGapLo+AmbientGapSpread]. These four values
+// are the calibration of the reproduction (see EXPERIMENTS.md).
+const (
+	AmbientDelayLo     = 20 * time.Millisecond
+	AmbientDelaySpread = 190 * time.Millisecond
+	AmbientGapLo       = 40 * time.Millisecond
+	AmbientGapSpread   = 210 * time.Millisecond
+)
+
+// ambient draws the per-trial network/think-time variation.
+func ambient(rng *rand.Rand) (path netem.PathConfig, htmlGap time.Duration) {
+	path = h2sim.DefaultPath()
+	path.ServerSide.PropDelay = AmbientDelayLo +
+		time.Duration(rng.Int63n(int64(AmbientDelaySpread)))
+	path.ClientSide.PropDelay = time.Millisecond +
+		time.Duration(rng.Int63n(int64(3*time.Millisecond)))
+	htmlGap = AmbientGapLo +
+		time.Duration(rng.Int63n(int64(AmbientGapSpread)))
+	return path, htmlGap
+}
+
+// RunTrial executes one trial.
+func RunTrial(p TrialParams) TrialResult {
+	rng := rand.New(rand.NewSource(p.Seed))
+	order := website.RandomPermutation(rng)
+
+	path, htmlGap := ambient(rng)
+	if p.FixedAmbient {
+		path, htmlGap = h2sim.DefaultPath(), 250*time.Millisecond
+	}
+	if p.UniformDelay > 0 {
+		path.ClientSide.PropDelay += p.UniformDelay / 2
+		path.ServerSide.PropDelay += p.UniformDelay / 2
+	}
+	site := website.SurveyCustom(order, website.SurveyOptions{
+		HTMLGap:             htmlGap,
+		CanonicalImageOrder: p.CanonicalOrder,
+		PadBucket:           p.PadBucket,
+	})
+
+	serverCfg := p.Server
+	if p.PushEmblems {
+		html, _ := site.Object(website.ResultHTMLID)
+		var pushes []string
+		for party := 0; party < website.PartyCount; party++ {
+			o, _ := site.Object(website.EmblemID(party))
+			pushes = append(pushes, o.Path)
+		}
+		if serverCfg.Push == nil {
+			serverCfg.Push = make(map[string][]string)
+		}
+		serverCfg.Push[html.Path] = pushes
+	}
+	sess := h2sim.NewSession(site, h2sim.SessionConfig{
+		Seed:      p.Seed,
+		Path:      path,
+		Server:    serverCfg,
+		Client:    p.Client,
+		TimeLimit: p.TimeLimit,
+	})
+
+	var atk *core.Attack
+	switch p.Mode {
+	case ModeJitter:
+		atk = core.Install(sess, core.AttackConfig{Phase1Spacing: p.Spacing})
+	case ModeJitterThrottle:
+		atk = core.Install(sess, core.AttackConfig{Phase1Spacing: p.Spacing})
+		atk.Controller.SetBandwidth(p.Bandwidth)
+	case ModeFullAttack:
+		cfg := p.Attack
+		if cfg == (core.AttackConfig{}) {
+			cfg = core.PaperAttack()
+		}
+		atk = core.Install(sess, cfg)
+	default:
+		atk = core.InstallPassive(sess)
+	}
+
+	sess.Run()
+
+	res := TrialResult{
+		Broken:          sess.Broken(),
+		TruthOrder:      site.DisplayOrder,
+		Retransmissions: sess.TotalRetransmissions(),
+		ReRequests:      sess.Client.Stats.ReRequests,
+		Resets:          sess.Client.Stats.Resets,
+		PageComplete:    sess.Client.AllScheduledComplete(),
+		LoadTime:        sess.Client.CompletedAt(45), // the trailing beacon
+	}
+	res.Requests = sess.Client.Requests
+	res.Copies = analysis.CopyTransmissions(sess.GroundTruth)
+	res.HTMLCleanAny, res.HTMLCleanOrig = analysis.CleanCopy(res.Copies, website.ResultHTMLID)
+	res.HTMLDegree = analysis.OriginalDegree(res.Copies, website.ResultHTMLID)
+
+	infs := atk.Infer()
+	res.HTMLIdentified = atk.Predictor.IdentifiedHTML(infs)
+	res.PredOrder = atk.Predictor.PredictEmblemOrder(infs)
+	for i, party := range res.TruthOrder {
+		clean, _ := analysis.CleanCopy(res.Copies, website.EmblemID(party))
+		res.ImageClean[i] = clean
+	}
+	return res
+}
+
+// HTMLSuccess is the paper's success criterion for the object of
+// interest: degree of multiplexing brought to zero AND identified
+// from the encrypted traffic.
+func (r TrialResult) HTMLSuccess() bool {
+	return !r.Broken && r.HTMLCleanAny && r.HTMLIdentified
+}
+
+// ImageSuccess reports position-i success under the all-objects
+// target: the i-th displayed party was correctly identified and its
+// emblem transmitted clean.
+func (r TrialResult) ImageSuccess(i int) bool {
+	return !r.Broken && r.ImageClean[i] && r.PredOrder[i] == r.TruthOrder[i]
+}

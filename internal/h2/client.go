@@ -1,0 +1,289 @@
+package h2
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+)
+
+// Response is a complete HTTP/2 response.
+type Response struct {
+	Status int
+	Header []HeaderField
+	Body   []byte
+
+	// StreamID is the stream the response arrived on.
+	StreamID uint32
+}
+
+// HeaderValue returns the first value of the named header, or "".
+func (r *Response) HeaderValue(name string) string {
+	for _, f := range r.Header {
+		if f.Name == name {
+			return f.Value
+		}
+	}
+	return ""
+}
+
+// Client is an HTTP/2 client over a single connection. It supports
+// concurrent requests, which the server may multiplex.
+type Client struct {
+	conn *Conn
+}
+
+// Dial connects to addr (TCP) and performs the HTTP/2 prior-knowledge
+// handshake.
+func Dial(addr string, cfg ConnConfig) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("h2: dial %s: %w", addr, err)
+	}
+	return NewClientConn(nc, cfg)
+}
+
+// NewClientConn performs the client side of the HTTP/2 handshake over
+// an established connection.
+func NewClientConn(nc net.Conn, cfg ConnConfig) (*Client, error) {
+	if _, err := io.WriteString(nc, ClientPreface); err != nil {
+		_ = nc.Close() //nolint:errcheck // handshake failed
+		return nil, fmt.Errorf("h2: write preface: %w", err)
+	}
+	c := newConn(nc, cfg, true)
+	if err := c.fr.WriteFrame(&SettingsFrame{Settings: c.localSettings.Diff()}); err != nil {
+		_ = nc.Close() //nolint:errcheck // handshake failed
+		return nil, fmt.Errorf("h2: client settings: %w", err)
+	}
+	c.start()
+	return &Client{conn: c}, nil
+}
+
+// OnPush registers a callback invoked (from the connection's read
+// loop) for every accepted server push. The pushed response is read
+// from the returned stream like any other. Requires
+// ConnConfig.AcceptPush.
+func (cl *Client) OnPush(fn func(path string, cs *ClientStream)) {
+	cl.conn.mu.Lock()
+	defer cl.conn.mu.Unlock()
+	cl.conn.onPush = func(path string, s *connStream) {
+		fn(path, &ClientStream{conn: cl.conn, stream: s})
+	}
+}
+
+// Close tears down the connection.
+func (cl *Client) Close() error { return cl.conn.Close() }
+
+// Err returns the terminal connection error, if any.
+func (cl *Client) Err() error { return cl.conn.Err() }
+
+// ClientStream is an in-flight request.
+type ClientStream struct {
+	conn   *Conn
+	stream *connStream
+
+	readOff int // Read's position within the buffered body
+}
+
+// StreamID returns the HTTP/2 stream id of the request.
+func (cs *ClientStream) StreamID() uint32 { return cs.stream.id }
+
+// StartGet issues a GET without waiting for the response. Concurrent
+// StartGet calls give the server the opportunity to multiplex.
+func (cl *Client) StartGet(authority, path string) (*ClientStream, error) {
+	return cl.Start("GET", authority, path, nil)
+}
+
+// Start issues a request with optional extra headers and returns the
+// in-flight stream.
+func (cl *Client) Start(method, authority, path string, extra []HeaderField) (*ClientStream, error) {
+	return cl.StartWithPriority(method, authority, path, extra, nil)
+}
+
+// StartWithPriority issues a request whose HEADERS frame carries
+// RFC 7540 section 5.3 priority information (weight 0 encodes 1, 255
+// encodes 256). The server's write scheduler allocates bandwidth to
+// concurrent responses proportionally.
+func (cl *Client) StartWithPriority(method, authority, path string, extra []HeaderField, prio *PriorityParam) (*ClientStream, error) {
+	c := cl.conn
+	c.mu.Lock()
+	if c.closed {
+		err := c.closeErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.draining {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("h2: connection is draining after GOAWAY: %w", ErrClosed)
+	}
+	id := c.nextStreamID
+	c.nextStreamID += 2
+	s := newConnStream(id, int32(c.peerSettings.InitialWindowSize))
+	c.streams[id] = s
+	c.mu.Unlock()
+
+	fields := []HeaderField{
+		{Name: ":method", Value: method},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":authority", Value: authority},
+		{Name: ":path", Value: path},
+	}
+	fields = append(fields, extra...)
+	if err := c.writeHeadersPrio(s, fields, true, prio); err != nil {
+		return nil, err
+	}
+	return &ClientStream{conn: c, stream: s}, nil
+}
+
+// Headers blocks until the response header block arrives and returns
+// it (pseudo-headers included). Use with Read for streaming
+// consumption; Response remains the buffered alternative.
+func (cs *ClientStream) Headers() ([]HeaderField, error) {
+	s := cs.stream
+	s.recvMu.Lock()
+	defer s.recvMu.Unlock()
+	for s.recvErr == nil && !s.hdrsReady {
+		s.recvCond.Wait()
+	}
+	if !s.hdrsReady {
+		return nil, s.recvErr
+	}
+	return s.hdrs, nil
+}
+
+// Read streams the response body as DATA frames arrive, returning
+// io.EOF after the final frame. Do not mix with Response, which
+// consumes the same buffer all at once.
+func (cs *ClientStream) Read(p []byte) (int, error) {
+	s := cs.stream
+	s.recvMu.Lock()
+	defer s.recvMu.Unlock()
+	for {
+		if cs.readOff < len(s.recvBuf) {
+			n := copy(p, s.recvBuf[cs.readOff:])
+			cs.readOff += n
+			return n, nil
+		}
+		if s.recvEnd {
+			return 0, io.EOF
+		}
+		if s.recvErr != nil {
+			return 0, s.recvErr
+		}
+		s.recvCond.Wait()
+	}
+}
+
+var _ io.Reader = (*ClientStream)(nil)
+
+// Cancel aborts the request with RST_STREAM(CANCEL).
+func (cs *ClientStream) Cancel() { cs.conn.resetStream(cs.stream.id, ErrCodeCancel) }
+
+// Response blocks until the stream completes and returns the full
+// response.
+func (cs *ClientStream) Response() (*Response, error) {
+	s := cs.stream
+	s.recvMu.Lock()
+	defer s.recvMu.Unlock()
+	for s.recvErr == nil && !(s.hdrsReady && s.recvEnd) {
+		s.recvCond.Wait()
+	}
+	if s.recvErr != nil && !(s.hdrsReady && s.recvEnd) {
+		return nil, s.recvErr
+	}
+	resp := &Response{StreamID: s.id, Body: s.recvBuf}
+	for _, f := range s.hdrs {
+		if f.Name == ":status" {
+			st, err := strconv.Atoi(f.Value)
+			if err != nil {
+				return nil, ConnectionError{Code: ErrCodeProtocol, Reason: "bad :status"}
+			}
+			resp.Status = st
+			continue
+		}
+		resp.Header = append(resp.Header, f)
+	}
+	if resp.Status == 0 {
+		return nil, ConnectionError{Code: ErrCodeProtocol, Reason: "missing :status"}
+	}
+	return resp, nil
+}
+
+// Post issues a POST carrying body and waits for the response.
+func (cl *Client) Post(authority, path string, body []byte, extra []HeaderField) (*Response, error) {
+	c := cl.conn
+	c.mu.Lock()
+	if c.closed {
+		err := c.closeErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.draining {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("h2: connection is draining after GOAWAY: %w", ErrClosed)
+	}
+	id := c.nextStreamID
+	c.nextStreamID += 2
+	s := newConnStream(id, int32(c.peerSettings.InitialWindowSize))
+	c.streams[id] = s
+	c.mu.Unlock()
+
+	fields := []HeaderField{
+		{Name: ":method", Value: "POST"},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":authority", Value: authority},
+		{Name: ":path", Value: path},
+	}
+	fields = append(fields, extra...)
+	if err := c.writeHeaders(s, fields, false); err != nil {
+		return nil, err
+	}
+	if err := c.enqueueData(s, body, true); err != nil {
+		return nil, err
+	}
+	cs := &ClientStream{conn: c, stream: s}
+	return cs.Response()
+}
+
+// Get issues a GET and waits for the complete response.
+func (cl *Client) Get(authority, path string) (*Response, error) {
+	cs, err := cl.StartGet(authority, path)
+	if err != nil {
+		return nil, err
+	}
+	return cs.Response()
+}
+
+// GetMany issues all paths back-to-back and then collects every
+// response, exercising server-side multiplexing.
+func (cl *Client) GetMany(authority string, paths []string) ([]*Response, error) {
+	streams := make([]*ClientStream, 0, len(paths))
+	for _, p := range paths {
+		cs, err := cl.StartGet(authority, p)
+		if err != nil {
+			return nil, err
+		}
+		streams = append(streams, cs)
+	}
+	resps := make([]*Response, 0, len(streams))
+	var firstErr error
+	for _, cs := range streams {
+		r, err := cs.Response()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		resps = append(resps, r)
+	}
+	if firstErr != nil {
+		return resps, firstErr
+	}
+	return resps, nil
+}
+
+// Ping sends a PING and returns immediately (fire-and-forget liveness
+// probe; the read loop consumes the ack).
+func (cl *Client) Ping() error {
+	var d [8]byte
+	copy(d[:], "h2health")
+	return cl.conn.enqueueCtrl(&PingFrame{Data: d})
+}

@@ -1,0 +1,864 @@
+package h2
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// ConnConfig tunes a Conn endpoint.
+type ConnConfig struct {
+	// Settings are the local settings announced to the peer. The zero
+	// value means DefaultSettings.
+	Settings Settings
+
+	// DataChunkSize caps the payload of each DATA frame the write
+	// scheduler emits. Smaller chunks increase interleaving across
+	// concurrent streams. Zero means the peer's SETTINGS_MAX_FRAME_SIZE.
+	DataChunkSize int
+
+	// AcceptPush lets a client accept server pushes instead of
+	// refusing them (server-side endpoints ignore it).
+	AcceptPush bool
+}
+
+func (c ConnConfig) withDefaults() ConnConfig {
+	if c.Settings == (Settings{}) {
+		c.Settings = DefaultSettings()
+	}
+	return c
+}
+
+// connStream is the per-stream bookkeeping shared by client and
+// server roles.
+type connStream struct {
+	id    uint32
+	state StreamStateMachine
+
+	// Send side, guarded by Conn.mu.
+	sendBuf []byte // body bytes not yet framed
+	sendEnd bool   // END_STREAM after sendBuf drains
+	sendWin FlowWindow
+	sendErr error
+
+	// weight is the RFC 7540 section 5.3 priority weight (1-256; zero
+	// means the default 16). credit is the smooth-WRR accumulator the
+	// scheduler uses.
+	weight int
+	credit int
+
+	// Receive side.
+	recvMu     sync.Mutex
+	recvCond   *sync.Cond
+	recvBuf    []byte
+	recvEnd    bool
+	recvErr    error
+	hdrs       []HeaderField
+	hdrsReady  bool
+	dispatched bool // server: handler already started
+}
+
+func newConnStream(id uint32, sendWin int32) *connStream {
+	s := &connStream{id: id, sendWin: NewFlowWindow(sendWin)}
+	s.recvCond = sync.NewCond(&s.recvMu)
+	return s
+}
+
+// deliverData appends DATA payload for the stream's reader.
+func (s *connStream) deliverData(p []byte, end bool) {
+	s.recvMu.Lock()
+	defer s.recvMu.Unlock()
+	s.recvBuf = append(s.recvBuf, p...)
+	if end {
+		s.recvEnd = true
+	}
+	s.recvCond.Broadcast()
+}
+
+// deliverHeaders records the decoded header list.
+func (s *connStream) deliverHeaders(h []HeaderField, end bool) {
+	s.recvMu.Lock()
+	defer s.recvMu.Unlock()
+	s.hdrs = h
+	s.hdrsReady = true
+	if end {
+		s.recvEnd = true
+	}
+	s.recvCond.Broadcast()
+}
+
+// fail aborts the stream's reader with err.
+func (s *connStream) fail(err error) {
+	s.recvMu.Lock()
+	defer s.recvMu.Unlock()
+	if s.recvErr == nil {
+		s.recvErr = err
+	}
+	s.recvCond.Broadcast()
+}
+
+// Conn is one HTTP/2 connection endpoint over a net.Conn. It is used
+// by both Server (per accepted connection) and Client.
+//
+// All frame writes are funneled through a single writer goroutine: a
+// FIFO control queue for non-DATA frames and a round-robin scheduler
+// for DATA, which is what produces multiplexed (interleaved) object
+// transmission when several streams have pending data — the behaviour
+// the paper's attack targets.
+type Conn struct {
+	nc     net.Conn
+	cfg    ConnConfig
+	client bool
+
+	mu         sync.Mutex
+	cond       *sync.Cond // signals the writer goroutine
+	ctrlQ      []Frame
+	streams    map[uint32]*connStream
+	dataRing   []uint32   // streams with pending data (scheduling set)
+	sendWin    FlowWindow // connection-level send window
+	closed     bool
+	closeErr   error
+	goAwaySent bool
+	draining   bool // GOAWAY exchanged: no new streams, finish in-flight
+
+	peerSettings  Settings
+	localSettings Settings
+
+	henc *HpackEncoder // guarded by mu
+	hdec *HpackDecoder // read-loop only
+
+	fr *Framer // write side guarded by writer goroutine; read side by read loop
+
+	nextStreamID uint32 // client: next request stream id
+
+	// continuation state (read loop only)
+	contStreamID uint32
+	contBlock    []byte
+	contEnd      bool
+
+	recvConnWin int64 // receive-side connection window consumed since last update
+
+	// pendingWeight holds HEADERS-carried priority weights for streams
+	// not yet created.
+	pendingWeight map[uint32]int
+
+	onRequest func(*Conn, *connStream)         // server: dispatch a decoded request
+	onPush    func(path string, s *connStream) // client: pushed stream arrived
+
+	nextPushID uint32 // server: next even stream id for pushes
+
+	wg sync.WaitGroup
+}
+
+func newConn(nc net.Conn, cfg ConnConfig, client bool) *Conn {
+	cfg = cfg.withDefaults()
+	c := &Conn{
+		nc:            nc,
+		cfg:           cfg,
+		client:        client,
+		streams:       make(map[uint32]*connStream),
+		pendingWeight: make(map[uint32]int),
+		sendWin:       NewFlowWindow(DefaultInitialWindowSize),
+		peerSettings:  DefaultSettings(),
+		localSettings: cfg.Settings,
+		henc:          NewHpackEncoder(DefaultSettings().HeaderTableSize),
+		hdec:          NewHpackDecoder(cfg.Settings.HeaderTableSize),
+		fr:            NewFramer(nc, nc),
+		nextStreamID:  1,
+		nextPushID:    2,
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.fr.MaxReadFrameSize = cfg.Settings.MaxFrameSize
+	return c
+}
+
+// start launches the reader and writer goroutines after the preface
+// has been exchanged.
+func (c *Conn) start() {
+	c.wg.Add(2)
+	go func() {
+		defer c.wg.Done()
+		err := c.readLoop()
+		c.shutdown(err)
+	}()
+	go func() {
+		defer c.wg.Done()
+		c.writeLoop()
+	}()
+}
+
+// Close tears the connection down and waits for its goroutines.
+func (c *Conn) Close() error {
+	c.shutdown(ErrClosed)
+	c.wg.Wait()
+	return nil
+}
+
+// shutdown marks the connection closed, fails all streams, and closes
+// the socket so both loops unblock.
+func (c *Conn) shutdown(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	if err == nil {
+		err = ErrClosed
+	}
+	c.closeErr = err
+	streams := make([]*connStream, 0, len(c.streams))
+	for _, s := range c.streams {
+		streams = append(streams, s)
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+
+	for _, s := range streams {
+		s.fail(err)
+	}
+	_ = c.nc.Close() //nolint:errcheck // best-effort teardown
+}
+
+// goAway marks the connection draining and sends GOAWAY(NO_ERROR)
+// once, acknowledging all streams seen so far.
+func (c *Conn) goAway() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.draining = true
+	if c.goAwaySent || c.closed {
+		return
+	}
+	c.goAwaySent = true
+	// Advertise the maximum stream id: every request already in
+	// flight (including ones racing with this GOAWAY) will still be
+	// served; the peer's draining state stops new ones. This is the
+	// single-GOAWAY variant of RFC 7540 section 6.8's graceful
+	// shutdown dance.
+	c.ctrlQ = append(c.ctrlQ, &GoAwayFrame{LastStreamID: MaxWindowSize, Code: ErrCodeNo})
+	c.cond.Broadcast()
+}
+
+// drained reports whether no streams remain (or the connection died).
+func (c *Conn) drained() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.streams) == 0 || c.closed
+}
+
+// Err returns the error the connection terminated with, or nil while
+// it is still live.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		return nil
+	}
+	return c.closeErr
+}
+
+// enqueueCtrl queues a non-DATA frame for the writer goroutine.
+func (c *Conn) enqueueCtrl(f Frame) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return c.closeErr
+	}
+	c.ctrlQ = append(c.ctrlQ, f)
+	c.cond.Broadcast()
+	return nil
+}
+
+// enqueueData appends body bytes to a stream's send buffer; end marks
+// the final chunk.
+func (c *Conn) enqueueData(s *connStream, p []byte, end bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return c.closeErr
+	}
+	if s.sendErr != nil {
+		return s.sendErr
+	}
+	if len(p) > 0 {
+		s.sendBuf = append(s.sendBuf, p...)
+	}
+	if end {
+		s.sendEnd = true
+	}
+	c.scheduleLocked(s.id)
+	c.cond.Broadcast()
+	return nil
+}
+
+// scheduleLocked adds id to the data ring if absent. Caller holds mu.
+func (c *Conn) scheduleLocked(id uint32) {
+	for _, v := range c.dataRing {
+		if v == id {
+			return
+		}
+	}
+	c.dataRing = append(c.dataRing, id)
+}
+
+// unscheduleLocked removes id from the data ring. Caller holds mu.
+func (c *Conn) unscheduleLocked(id uint32) {
+	for i, v := range c.dataRing {
+		if v == id {
+			c.dataRing = append(c.dataRing[:i], c.dataRing[i+1:]...)
+			return
+		}
+	}
+}
+
+// writeLoop is the single writer goroutine: control frames first, then
+// one DATA chunk per eligible stream in round-robin order.
+func (c *Conn) writeLoop() {
+	for {
+		c.mu.Lock()
+		for !c.closed && len(c.ctrlQ) == 0 && !c.dataReadyLocked() {
+			c.cond.Wait()
+		}
+		if c.closed && len(c.ctrlQ) == 0 {
+			c.mu.Unlock()
+			return
+		}
+		if len(c.ctrlQ) > 0 {
+			f := c.ctrlQ[0]
+			c.ctrlQ = c.ctrlQ[1:]
+			c.mu.Unlock()
+			if err := c.fr.WriteFrame(f); err != nil {
+				c.shutdown(fmt.Errorf("h2: write: %w", err))
+				return
+			}
+			continue
+		}
+		f, ok := c.nextDataFrameLocked()
+		c.mu.Unlock()
+		if !ok {
+			continue
+		}
+		if err := c.fr.WriteFrame(f); err != nil {
+			c.shutdown(fmt.Errorf("h2: write: %w", err))
+			return
+		}
+	}
+}
+
+// dataReadyLocked reports whether any ring stream can make progress
+// under current flow-control windows. Caller holds mu.
+func (c *Conn) dataReadyLocked() bool {
+	if len(c.dataRing) == 0 {
+		return false
+	}
+	for _, id := range c.dataRing {
+		s := c.streams[id]
+		if s == nil {
+			continue
+		}
+		if len(s.sendBuf) == 0 && s.sendEnd {
+			return true // bare END_STREAM frame needs no window
+		}
+		if len(s.sendBuf) > 0 && c.sendWin.Available() > 0 && s.sendWin.Available() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// nextDataFrameLocked picks the next stream by smooth weighted
+// round-robin over the streams with sendable data (RFC 7540 section
+// 5.3 priority weights; default weight 16) and cuts one DATA frame
+// within flow-control limits. Caller holds mu.
+func (c *Conn) nextDataFrameLocked() (Frame, bool) {
+	var (
+		best  *connStream
+		total int
+	)
+	for i := 0; i < len(c.dataRing); i++ {
+		id := c.dataRing[i]
+		s := c.streams[id]
+		if s == nil || (len(s.sendBuf) == 0 && !s.sendEnd) {
+			c.dataRing = append(c.dataRing[:i], c.dataRing[i+1:]...)
+			i--
+			continue
+		}
+		eligible := len(s.sendBuf) == 0 || // bare END_STREAM needs no window
+			(c.sendWin.Available() > 0 && s.sendWin.Available() > 0)
+		if !eligible {
+			continue
+		}
+		w := s.weight
+		if w <= 0 {
+			w = 16
+		}
+		total += w
+		s.credit += w
+		if best == nil || s.credit > best.credit {
+			best = s
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	best.credit -= total
+	id := best.id
+
+	if len(best.sendBuf) == 0 {
+		// Bare END_STREAM.
+		best.sendEnd = false
+		c.unscheduleLocked(id)
+		_, _ = best.state.Transition(EvSendEndStream) //nolint:errcheck // local bookkeeping
+		c.reapLocked(best)
+		return &DataFrame{StreamID: id, EndStream: true}, true
+	}
+
+	chunk := c.chunkSizeLocked()
+	if chunk > len(best.sendBuf) {
+		chunk = len(best.sendBuf)
+	}
+	chunk = int(c.sendWin.ConsumeUpTo(int64(chunk)))
+	if chunk > 0 {
+		got := best.sendWin.ConsumeUpTo(int64(chunk))
+		if got < int64(chunk) {
+			// Return unused connection credit.
+			_ = c.sendWin.Replenish(int64(chunk) - got) //nolint:errcheck // reversing a consume cannot overflow
+			chunk = int(got)
+		}
+	}
+	if chunk == 0 {
+		return nil, false
+	}
+	data := make([]byte, chunk)
+	copy(data, best.sendBuf[:chunk])
+	best.sendBuf = best.sendBuf[chunk:]
+	end := false
+	if len(best.sendBuf) == 0 && best.sendEnd {
+		end = true
+		best.sendEnd = false
+		c.unscheduleLocked(id)
+		_, _ = best.state.Transition(EvSendEndStream) //nolint:errcheck // local bookkeeping
+		c.reapLocked(best)
+	}
+	return &DataFrame{StreamID: id, Data: data, EndStream: end}, true
+}
+
+// reapLocked removes a fully-closed stream from the table so
+// long-lived connections do not accumulate dead entries; it also
+// wakes a pending drain. Caller holds mu.
+func (c *Conn) reapLocked(s *connStream) {
+	if s.state.State() != StateClosed {
+		return
+	}
+	delete(c.streams, s.id)
+	c.cond.Broadcast()
+}
+
+func (c *Conn) chunkSizeLocked() int {
+	max := int(c.peerSettings.MaxFrameSize)
+	if c.cfg.DataChunkSize > 0 && c.cfg.DataChunkSize < max {
+		return c.cfg.DataChunkSize
+	}
+	return max
+}
+
+// writeHeaders HPACK-encodes fields and enqueues HEADERS (+
+// CONTINUATION) frames for the stream.
+func (c *Conn) writeHeaders(s *connStream, fields []HeaderField, endStream bool) error {
+	return c.writeHeadersPrio(s, fields, endStream, nil)
+}
+
+// writeHeadersPrio is writeHeaders with optional RFC 7540 section 5.3
+// priority information on the first HEADERS frame.
+func (c *Conn) writeHeadersPrio(s *connStream, fields []HeaderField, endStream bool, prio *PriorityParam) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return c.closeErr
+	}
+	block := c.henc.AppendHeaderBlock(nil, fields)
+	maxFrag := int(c.peerSettings.MaxFrameSize)
+	first := true
+	for first || len(block) > 0 {
+		frag := block
+		if len(frag) > maxFrag {
+			frag = frag[:maxFrag]
+		}
+		block = block[len(frag):]
+		endHeaders := len(block) == 0
+		if first {
+			hf := &HeadersFrame{
+				StreamID:      s.id,
+				BlockFragment: frag,
+				EndHeaders:    endHeaders,
+				EndStream:     endStream && len(s.sendBuf) == 0 && !s.sendEnd,
+			}
+			if prio != nil {
+				hf.HasPriority = true
+				hf.Priority = *prio
+			}
+			c.ctrlQ = append(c.ctrlQ, hf)
+			ev := EvSendHeaders
+			if endStream {
+				ev = EvSendEndStream
+			}
+			_, _ = s.state.Transition(ev) //nolint:errcheck // local bookkeeping
+			first = false
+		} else {
+			c.ctrlQ = append(c.ctrlQ, &ContinuationFrame{
+				StreamID:      s.id,
+				BlockFragment: frag,
+				EndHeaders:    endHeaders,
+			})
+		}
+	}
+	c.cond.Broadcast()
+	return nil
+}
+
+// resetStream sends RST_STREAM and aborts local stream state.
+func (c *Conn) resetStream(id uint32, code ErrCode) {
+	c.mu.Lock()
+	s := c.streams[id]
+	if s != nil {
+		delete(c.streams, id)
+		c.unscheduleLocked(id)
+		s.sendErr = StreamError{StreamID: id, Code: code}
+	}
+	if !c.closed {
+		c.ctrlQ = append(c.ctrlQ, &RSTStreamFrame{StreamID: id, Code: code})
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+	if s != nil {
+		s.fail(StreamError{StreamID: id, Code: code})
+	}
+}
+
+// readLoop dispatches inbound frames until the connection dies.
+func (c *Conn) readLoop() error {
+	for {
+		f, err := c.fr.ReadFrame()
+		if err != nil {
+			return fmt.Errorf("h2: read: %w", err)
+		}
+		if err := c.dispatch(f); err != nil {
+			var se StreamError
+			if errors.As(err, &se) {
+				c.resetStream(se.StreamID, se.Code)
+				continue
+			}
+			var ce ConnectionError
+			if errors.As(err, &ce) {
+				_ = c.enqueueCtrl(&GoAwayFrame{Code: ce.Code, DebugData: []byte(ce.Reason)}) //nolint:errcheck // already failing
+			}
+			return err
+		}
+	}
+}
+
+// dispatch handles one inbound frame.
+func (c *Conn) dispatch(f Frame) error {
+	// A header block in progress admits only CONTINUATION for the same
+	// stream (RFC 7540 section 6.10).
+	if c.contStreamID != 0 {
+		cf, ok := f.(*ContinuationFrame)
+		if !ok || cf.StreamID != c.contStreamID {
+			return ConnectionError{Code: ErrCodeProtocol, Reason: "expected CONTINUATION"}
+		}
+		c.contBlock = append(c.contBlock, cf.BlockFragment...)
+		if cf.EndHeaders {
+			id, block, end := c.contStreamID, c.contBlock, c.contEnd
+			c.contStreamID, c.contBlock = 0, nil
+			return c.finishHeaders(id, block, end)
+		}
+		return nil
+	}
+
+	switch fv := f.(type) {
+	case *SettingsFrame:
+		return c.handleSettings(fv)
+	case *PingFrame:
+		if !fv.Ack {
+			return c.enqueueCtrl(&PingFrame{Ack: true, Data: fv.Data})
+		}
+		return nil
+	case *WindowUpdateFrame:
+		return c.handleWindowUpdate(fv)
+	case *HeadersFrame:
+		if fv.HasPriority {
+			c.mu.Lock()
+			if s := c.streams[fv.StreamID]; s != nil {
+				s.weight = int(fv.Priority.Weight) + 1
+			} else {
+				c.pendingWeight[fv.StreamID] = int(fv.Priority.Weight) + 1
+			}
+			c.mu.Unlock()
+		}
+		if !fv.EndHeaders {
+			c.contStreamID = fv.StreamID
+			c.contBlock = append([]byte(nil), fv.BlockFragment...)
+			c.contEnd = fv.EndStream
+			return nil
+		}
+		return c.finishHeaders(fv.StreamID, fv.BlockFragment, fv.EndStream)
+	case *DataFrame:
+		return c.handleData(fv)
+	case *RSTStreamFrame:
+		c.mu.Lock()
+		s := c.streams[fv.StreamID]
+		if s != nil {
+			delete(c.streams, fv.StreamID)
+			c.unscheduleLocked(fv.StreamID)
+			s.sendErr = StreamError{StreamID: fv.StreamID, Code: fv.Code}
+		}
+		c.mu.Unlock()
+		if s != nil {
+			s.fail(StreamError{StreamID: fv.StreamID, Code: fv.Code, Reason: "reset by peer"})
+		}
+		return nil
+	case *PriorityFrame:
+		c.mu.Lock()
+		if s := c.streams[fv.StreamID]; s != nil {
+			s.weight = int(fv.Priority.Weight) + 1
+		}
+		c.mu.Unlock()
+		return nil
+	case *GoAwayFrame:
+		if fv.Code == ErrCodeNo {
+			// Graceful shutdown: stop opening streams, let in-flight
+			// ones finish (RFC 7540 section 6.8).
+			c.mu.Lock()
+			c.draining = true
+			var orphans []*connStream
+			for id, s := range c.streams {
+				if id > fv.LastStreamID && c.client == ClientStreamID(id) {
+					delete(c.streams, id)
+					orphans = append(orphans, s)
+				}
+			}
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			for _, s := range orphans {
+				s.fail(fmt.Errorf("h2: stream refused by GOAWAY: %w", ErrClosed))
+			}
+			return nil
+		}
+		return fmt.Errorf("h2: peer sent GOAWAY: %v: %w", fv.Code, ErrClosed)
+	case *UnknownFrame:
+		return nil
+	case *PushPromiseFrame:
+		if !c.client {
+			return ConnectionError{Code: ErrCodeProtocol, Reason: "client sent PUSH_PROMISE"}
+		}
+		if !c.cfg.AcceptPush {
+			// Refuse pushes politely: reset the promised stream.
+			c.mu.Lock()
+			c.ctrlQ = append(c.ctrlQ, &RSTStreamFrame{StreamID: fv.PromiseID, Code: ErrCodeRefusedStream})
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return nil
+		}
+		return c.acceptPush(fv)
+	case *ContinuationFrame:
+		return ConnectionError{Code: ErrCodeProtocol, Reason: "CONTINUATION without HEADERS"}
+	default:
+		return nil
+	}
+}
+
+func (c *Conn) handleSettings(f *SettingsFrame) error {
+	if f.Ack {
+		return nil
+	}
+	c.mu.Lock()
+	old := c.peerSettings.InitialWindowSize
+	err := c.peerSettings.Apply(f)
+	if err == nil && c.peerSettings.InitialWindowSize != old {
+		delta := int64(c.peerSettings.InitialWindowSize) - int64(old)
+		for _, s := range c.streams {
+			if aerr := s.sendWin.Adjust(delta); aerr != nil && err == nil {
+				err = aerr
+			}
+		}
+	}
+	if err == nil {
+		c.henc.SetMaxDynamicTableSize(c.peerSettings.HeaderTableSize)
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return c.enqueueCtrl(&SettingsFrame{Ack: true})
+}
+
+func (c *Conn) handleWindowUpdate(f *WindowUpdateFrame) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f.StreamID == 0 {
+		if err := c.sendWin.Replenish(int64(f.Increment)); err != nil {
+			return err
+		}
+	} else if s := c.streams[f.StreamID]; s != nil {
+		if err := s.sendWin.Replenish(int64(f.Increment)); err != nil {
+			return StreamError{StreamID: f.StreamID, Code: ErrCodeFlowControl, Reason: "window overflow"}
+		}
+	}
+	c.cond.Broadcast()
+	return nil
+}
+
+func (c *Conn) handleData(f *DataFrame) error {
+	c.mu.Lock()
+	s := c.streams[f.StreamID]
+	c.mu.Unlock()
+	if s == nil {
+		// Tolerate data for streams we already forgot (e.g. after RST).
+		return c.replenishRecvWindows(f.StreamID, len(f.Data), false)
+	}
+	s.deliverData(f.Data, f.EndStream)
+	if f.EndStream {
+		c.mu.Lock()
+		_, _ = s.state.Transition(EvRecvEndStream) //nolint:errcheck // local bookkeeping
+		c.reapLocked(s)
+		dispatch := !c.client && !s.dispatched
+		if dispatch {
+			s.dispatched = true
+		}
+		onReq := c.onRequest
+		c.mu.Unlock()
+		if dispatch && onReq != nil {
+			// The request carried a body: the handler starts now that
+			// the last DATA frame has arrived.
+			onReq(c, s)
+		}
+	}
+	return c.replenishRecvWindows(f.StreamID, len(f.Data), !f.EndStream)
+}
+
+// replenishRecvWindows returns receive-side flow-control credit for
+// consumed DATA bytes, batching connection updates.
+func (c *Conn) replenishRecvWindows(streamID uint32, n int, updateStream bool) error {
+	if n == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	c.recvConnWin += int64(n)
+	sendConn := c.recvConnWin >= DefaultInitialWindowSize/2
+	if sendConn {
+		c.recvConnWin = 0
+	}
+	c.mu.Unlock()
+	if sendConn {
+		if err := c.enqueueCtrl(&WindowUpdateFrame{StreamID: 0, Increment: DefaultInitialWindowSize / 2}); err != nil {
+			return err
+		}
+	}
+	if updateStream {
+		return c.enqueueCtrl(&WindowUpdateFrame{StreamID: streamID, Increment: uint32(n)})
+	}
+	return nil
+}
+
+// acceptPush registers a server-initiated stream announced by
+// PUSH_PROMISE and hands it to the client layer.
+func (c *Conn) acceptPush(f *PushPromiseFrame) error {
+	fields, err := c.hdec.DecodeFull(f.BlockFragment)
+	if err != nil {
+		return err
+	}
+	path := ""
+	for _, hf := range fields {
+		if hf.Name == ":path" {
+			path = hf.Value
+		}
+	}
+	c.mu.Lock()
+	s := newConnStream(f.PromiseID, int32(c.peerSettings.InitialWindowSize))
+	_, _ = s.state.Transition(EvRecvPushPromise) //nolint:errcheck // local bookkeeping
+	c.streams[f.PromiseID] = s
+	onPush := c.onPush
+	c.mu.Unlock()
+	if onPush != nil {
+		onPush(path, s)
+	}
+	return nil
+}
+
+// push reserves a server-initiated stream: it emits PUSH_PROMISE on
+// the parent stream and returns the promised stream, on which the
+// caller writes the pushed response. Server connections only.
+func (c *Conn) push(parent *connStream, fields []HeaderField) (*connStream, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, c.closeErr
+	}
+	if c.client {
+		return nil, ConnectionError{Code: ErrCodeProtocol, Reason: "client cannot push"}
+	}
+	if !c.peerSettings.EnablePush {
+		return nil, ConnectionError{Code: ErrCodeProtocol, Reason: "peer disabled push"}
+	}
+	id := c.nextPushID
+	c.nextPushID += 2
+	s := newConnStream(id, int32(c.peerSettings.InitialWindowSize))
+	_, _ = s.state.Transition(EvSendPushPromise) //nolint:errcheck // local bookkeeping
+	c.streams[id] = s
+	block := c.henc.AppendHeaderBlock(nil, fields)
+	c.ctrlQ = append(c.ctrlQ, &PushPromiseFrame{
+		StreamID:      parent.id,
+		PromiseID:     id,
+		BlockFragment: block,
+		EndHeaders:    true,
+	})
+	c.cond.Broadcast()
+	return s, nil
+}
+
+// finishHeaders decodes a complete header block and hands it to the
+// role-specific layer.
+func (c *Conn) finishHeaders(id uint32, block []byte, endStream bool) error {
+	fields, err := c.hdec.DecodeFull(block)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	s := c.streams[id]
+	isNew := s == nil
+	if isNew {
+		if c.client {
+			c.mu.Unlock()
+			// A response for an unknown stream: ignore (stream may have
+			// been reset locally).
+			return nil
+		}
+		s = newConnStream(id, int32(c.peerSettings.InitialWindowSize))
+		if w, ok := c.pendingWeight[id]; ok {
+			s.weight = w
+			delete(c.pendingWeight, id)
+		}
+		c.streams[id] = s
+	}
+	ev := EvRecvHeaders
+	if endStream {
+		ev = EvRecvEndStream
+	}
+	_, _ = s.state.Transition(ev) //nolint:errcheck // tolerated: trailers etc.
+	// Requests without a body dispatch immediately; ones with a body
+	// wait for the final DATA frame (see handleData).
+	dispatch := isNew && endStream && !s.dispatched
+	if dispatch {
+		s.dispatched = true
+	}
+	onReq := c.onRequest
+	c.mu.Unlock()
+
+	s.deliverHeaders(fields, endStream)
+	if dispatch && onReq != nil {
+		onReq(c, s)
+	}
+	return nil
+}

@@ -1,0 +1,330 @@
+package h2
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// rawServerConn accepts one connection, performs the server preface
+// exchange manually, and hands the test raw framer access.
+func rawServerConn(t *testing.T) (*Framer, net.Conn, *Client) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() }) //nolint:errcheck // teardown
+
+	type acceptResult struct {
+		fr *Framer
+		nc net.Conn
+	}
+	acceptc := make(chan acceptResult, 1)
+	go func() {
+		nc, aerr := ln.Accept()
+		if aerr != nil {
+			return
+		}
+		buf := make([]byte, len(ClientPreface))
+		if _, rerr := io.ReadFull(nc, buf); rerr != nil {
+			return
+		}
+		fr := NewFramer(nc, nc)
+		_ = fr.WriteFrame(&SettingsFrame{}) //nolint:errcheck // test handshake
+		acceptc <- acceptResult{fr, nc}
+	}()
+
+	cl, err := Dial(ln.Addr().String(), ConnConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cl.Close() }) //nolint:errcheck // teardown
+	res := <-acceptc
+	t.Cleanup(func() { _ = res.nc.Close() }) //nolint:errcheck // teardown
+	return res.fr, res.nc, cl
+}
+
+// readUntil reads frames until pred returns true, failing after a
+// bounded number of frames.
+func readUntil(t *testing.T, fr *Framer, what string, pred func(Frame) bool) Frame {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		f, err := fr.ReadFrame()
+		if err != nil {
+			t.Fatalf("waiting for %s: %v", what, err)
+		}
+		if pred(f) {
+			return f
+		}
+	}
+	t.Fatalf("never saw %s", what)
+	return nil
+}
+
+func TestFlowControlStallsAndResumes(t *testing.T) {
+	fr, _, cl := rawServerConn(t)
+
+	// Issue a request so the raw "server" owns a stream.
+	done := make(chan *Response, 1)
+	go func() {
+		cs, err := cl.StartGet("example.test", "/big")
+		if err != nil {
+			done <- nil
+			return
+		}
+		r, _ := cs.Response() //nolint:errcheck // nil on failure is asserted below
+		done <- r
+	}()
+
+	hf := readUntil(t, fr, "request HEADERS", func(f Frame) bool {
+		_, ok := f.(*HeadersFrame)
+		return ok
+	}).(*HeadersFrame)
+	streamID := hf.StreamID
+
+	// Respond with more data than the 64KiB initial window allows;
+	// DO NOT grant window updates beyond what the client sends.
+	henc := NewHpackEncoder(4096)
+	block := henc.AppendHeaderBlock(nil, []HeaderField{{Name: ":status", Value: "200"}})
+	if err := fr.WriteFrame(&HeadersFrame{StreamID: streamID, BlockFragment: block, EndHeaders: true}); err != nil {
+		t.Fatal(err)
+	}
+	const total = 200 << 10
+	body := bytes.Repeat([]byte{7}, total)
+	sent := 0
+	for sent < total {
+		n := 16 << 10
+		if n > total-sent {
+			n = total - sent
+		}
+		// The raw server respects no window: the CLIENT must keep the
+		// transfer alive by replenishing via WINDOW_UPDATE, which this
+		// loop consumes to pace itself like a compliant sender.
+		if err := fr.WriteFrame(&DataFrame{
+			StreamID:  streamID,
+			Data:      body[sent : sent+n],
+			EndStream: sent+n == total,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		sent += n
+	}
+	// Drain client WINDOW_UPDATEs/acks until the response lands.
+	go func() {
+		for {
+			if _, err := fr.ReadFrame(); err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case r := <-done:
+		if r == nil {
+			t.Fatal("response failed")
+		}
+		if len(r.Body) != total {
+			t.Errorf("received %d bytes, want %d", len(r.Body), total)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("transfer hung")
+	}
+}
+
+func TestClientSendsWindowUpdates(t *testing.T) {
+	fr, _, cl := rawServerConn(t)
+	go func() {
+		cs, err := cl.StartGet("example.test", "/stream")
+		if err != nil {
+			return
+		}
+		_, _ = cs.Response() //nolint:errcheck // not the assertion target
+	}()
+	hf := readUntil(t, fr, "request HEADERS", func(f Frame) bool {
+		_, ok := f.(*HeadersFrame)
+		return ok
+	}).(*HeadersFrame)
+	henc := NewHpackEncoder(4096)
+	block := henc.AppendHeaderBlock(nil, []HeaderField{{Name: ":status", Value: "200"}})
+	if err := fr.WriteFrame(&HeadersFrame{StreamID: hf.StreamID, BlockFragment: block, EndHeaders: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Send one mid-stream DATA frame: the client must return stream
+	// credit.
+	if err := fr.WriteFrame(&DataFrame{StreamID: hf.StreamID, Data: make([]byte, 8192)}); err != nil {
+		t.Fatal(err)
+	}
+	readUntil(t, fr, "stream WINDOW_UPDATE", func(f Frame) bool {
+		wu, ok := f.(*WindowUpdateFrame)
+		return ok && wu.StreamID == hf.StreamID && wu.Increment == 8192
+	})
+}
+
+func TestClientAnswersPing(t *testing.T) {
+	fr, _, _ := rawServerConn(t)
+	ping := &PingFrame{Data: [8]byte{9, 8, 7, 6, 5, 4, 3, 2}}
+	if err := fr.WriteFrame(ping); err != nil {
+		t.Fatal(err)
+	}
+	readUntil(t, fr, "PING ack", func(f Frame) bool {
+		p, ok := f.(*PingFrame)
+		return ok && p.Ack && p.Data == ping.Data
+	})
+}
+
+func TestClientAcksSettings(t *testing.T) {
+	fr, _, _ := rawServerConn(t)
+	if err := fr.WriteFrame(&SettingsFrame{Settings: []Setting{{SettingInitialWindowSize, 1 << 20}}}); err != nil {
+		t.Fatal(err)
+	}
+	readUntil(t, fr, "SETTINGS ack", func(f Frame) bool {
+		s, ok := f.(*SettingsFrame)
+		return ok && s.Ack
+	})
+}
+
+func TestCompressionErrorTearsDownConnection(t *testing.T) {
+	fr, _, cl := rawServerConn(t)
+	// Garbage header block: HPACK index 0 is always a compression
+	// error, which is connection-fatal per RFC 7541.
+	if err := fr.WriteFrame(&HeadersFrame{StreamID: 1, BlockFragment: []byte{0x80}, EndHeaders: true}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for cl.Err() == nil {
+		select {
+		case <-deadline:
+			t.Fatal("client survived a compression error")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if _, err := cl.StartGet("example.test", "/x"); err == nil {
+		t.Error("dead connection accepted a request")
+	}
+}
+
+func TestWindowOverflowIsFlowControlError(t *testing.T) {
+	fr, _, cl := rawServerConn(t)
+	// Two maximal connection window updates overflow 2^31-1.
+	if err := fr.WriteFrame(&WindowUpdateFrame{Increment: MaxWindowSize}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.WriteFrame(&WindowUpdateFrame{Increment: MaxWindowSize}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for cl.Err() == nil {
+		select {
+		case <-deadline:
+			t.Fatal("client ignored a connection window overflow")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	var ce ConnectionError
+	if !errors.As(cl.Err(), &ce) && !errors.Is(cl.Err(), ErrClosed) {
+		t.Logf("terminal error: %v (acceptable as long as the conn died)", cl.Err())
+	}
+}
+
+func TestUnknownFrameTypeIgnored(t *testing.T) {
+	fr, _, cl := rawServerConn(t)
+	if err := fr.WriteFrame(&UnknownFrame{
+		FH:      FrameHeader{Type: FrameType(0x77), StreamID: 0},
+		Payload: []byte{1, 2, 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The connection must stay healthy.
+	time.Sleep(50 * time.Millisecond)
+	if cl.Err() != nil {
+		t.Fatalf("unknown frame killed the connection: %v", cl.Err())
+	}
+}
+
+func TestContinuationReassembly(t *testing.T) {
+	fr, _, cl := rawServerConn(t)
+	go func() {
+		cs, err := cl.StartGet("example.test", "/cont")
+		if err != nil {
+			return
+		}
+		_, _ = cs.Response() //nolint:errcheck // not the assertion target
+	}()
+	hf := readUntil(t, fr, "request HEADERS", func(f Frame) bool {
+		_, ok := f.(*HeadersFrame)
+		return ok
+	}).(*HeadersFrame)
+
+	// Respond with the header block split across HEADERS + two
+	// CONTINUATION frames.
+	henc := NewHpackEncoder(4096)
+	block := henc.AppendHeaderBlock(nil, []HeaderField{
+		{Name: ":status", Value: "200"},
+		{Name: "x-long", Value: string(bytes.Repeat([]byte("v"), 60))},
+	})
+	third := len(block) / 3
+	if err := fr.WriteFrame(&HeadersFrame{StreamID: hf.StreamID, BlockFragment: block[:third]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.WriteFrame(&ContinuationFrame{StreamID: hf.StreamID, BlockFragment: block[third : 2*third]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.WriteFrame(&ContinuationFrame{StreamID: hf.StreamID, BlockFragment: block[2*third:], EndHeaders: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.WriteFrame(&DataFrame{StreamID: hf.StreamID, Data: []byte("done"), EndStream: true}); err != nil {
+		t.Fatal(err)
+	}
+	// The client must reassemble and not error out.
+	deadline := time.After(5 * time.Second)
+	for {
+		if cl.Err() != nil {
+			t.Fatalf("client died on CONTINUATION: %v", cl.Err())
+		}
+		cl.conn.mu.Lock()
+		n := len(cl.conn.streams)
+		cl.conn.mu.Unlock()
+		if n == 0 {
+			return // stream completed and was reaped
+		}
+		select {
+		case <-deadline:
+			t.Fatal("response never completed")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestInterleavedContinuationIsConnectionError(t *testing.T) {
+	fr, _, cl := rawServerConn(t)
+	go func() {
+		cs, err := cl.StartGet("example.test", "/x")
+		if err != nil {
+			return
+		}
+		_, _ = cs.Response() //nolint:errcheck // connection will die
+	}()
+	hf := readUntil(t, fr, "request HEADERS", func(f Frame) bool {
+		_, ok := f.(*HeadersFrame)
+		return ok
+	}).(*HeadersFrame)
+	// Open a header block, then interleave a PING: RFC 7540 section
+	// 6.10 forbids any other frame before END_HEADERS.
+	if err := fr.WriteFrame(&HeadersFrame{StreamID: hf.StreamID, BlockFragment: []byte{0x88}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.WriteFrame(&PingFrame{}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for cl.Err() == nil {
+		select {
+		case <-deadline:
+			t.Fatal("client tolerated an interleaved CONTINUATION block")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}

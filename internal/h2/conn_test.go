@@ -1,0 +1,319 @@
+package h2
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testServer starts a Server on a loopback listener and returns a
+// connected Client. Both are torn down with t.Cleanup.
+func testServer(t *testing.T, h Handler, scfg, ccfg ConnConfig) *Client {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Handler: h, Config: scfg}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln) //nolint:errcheck // ends when listener closes
+	}()
+	t.Cleanup(func() {
+		_ = srv.Close() //nolint:errcheck // test teardown
+		<-done
+	})
+	cl, err := Dial(ln.Addr().String(), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cl.Close() }) //nolint:errcheck // test teardown
+	return cl
+}
+
+func echoPathHandler() Handler {
+	return HandlerFunc(func(w *ResponseWriter, r *Request) {
+		w.SetHeader("content-type", "text/plain")
+		_, _ = w.Write([]byte("you asked for " + r.Path)) //nolint:errcheck // test handler
+	})
+}
+
+func TestClientServerBasicGet(t *testing.T) {
+	cl := testServer(t, echoPathHandler(), ConnConfig{}, ConnConfig{})
+	resp, err := cl.Get("example.test", "/hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 {
+		t.Errorf("status = %d, want 200", resp.Status)
+	}
+	if got := string(resp.Body); got != "you asked for /hello" {
+		t.Errorf("body = %q", got)
+	}
+	if resp.HeaderValue("content-type") != "text/plain" {
+		t.Errorf("content-type = %q", resp.HeaderValue("content-type"))
+	}
+}
+
+func TestClientServerSequentialRequests(t *testing.T) {
+	cl := testServer(t, echoPathHandler(), ConnConfig{}, ConnConfig{})
+	for i := 0; i < 20; i++ {
+		path := fmt.Sprintf("/obj/%d", i)
+		resp, err := cl.Get("example.test", path)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if want := "you asked for " + path; string(resp.Body) != want {
+			t.Fatalf("request %d body = %q, want %q", i, resp.Body, want)
+		}
+	}
+}
+
+func TestClientServerLargeBody(t *testing.T) {
+	const size = 300 << 10 // spans several flow-control windows
+	body := bytes.Repeat([]byte("abcdefgh"), size/8)
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		_, _ = w.Write(body) //nolint:errcheck // test handler
+	})
+	cl := testServer(t, h, ConnConfig{}, ConnConfig{})
+	resp, err := cl.Get("example.test", "/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.Body, body) {
+		t.Errorf("body mismatch: got %d bytes, want %d", len(resp.Body), len(body))
+	}
+}
+
+func TestClientServerConcurrentMultiplexing(t *testing.T) {
+	// Handlers block until all requests have arrived, guaranteeing
+	// concurrent streams; small DATA chunks force interleaving.
+	const n = 8
+	var (
+		mu      sync.Mutex
+		arrived int
+		cond    = sync.NewCond(&mu)
+	)
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		mu.Lock()
+		arrived++
+		cond.Broadcast()
+		for arrived < n {
+			cond.Wait()
+		}
+		mu.Unlock()
+		idx := strings.TrimPrefix(r.Path, "/obj/")
+		_, _ = w.Write(bytes.Repeat([]byte(idx[:1]), 8<<10)) //nolint:errcheck // test handler
+	})
+	cl := testServer(t, h, ConnConfig{DataChunkSize: 512}, ConnConfig{})
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/obj/%d", i)
+	}
+	resps, err := cl.GetMany("example.test", paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resps {
+		want := byte('0' + i)
+		if len(r.Body) != 8<<10 {
+			t.Errorf("response %d: %d bytes, want %d", i, len(r.Body), 8<<10)
+		}
+		for _, b := range r.Body {
+			if b != want {
+				t.Fatalf("response %d: corrupted byte %q, want %q", i, b, want)
+			}
+		}
+	}
+}
+
+func TestClientCancelRequest(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		if r.Path != "/slow" {
+			_, _ = w.Write([]byte("fast")) //nolint:errcheck // test handler
+			return
+		}
+		close(started)
+		<-release
+		_, _ = w.Write([]byte("late")) //nolint:errcheck // stream may be reset
+	})
+	cl := testServer(t, h, ConnConfig{}, ConnConfig{})
+	cs, err := cl.StartGet("example.test", "/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	cs.Cancel()
+	if _, err := cs.Response(); err == nil {
+		t.Error("cancelled request returned a response, want error")
+	}
+	close(release)
+	// The connection must remain usable after a stream reset.
+	resp, err := cl.Get("example.test", "/after")
+	if err != nil {
+		t.Fatalf("connection broken after cancel: %v", err)
+	}
+	if resp.Status != 200 {
+		t.Errorf("status = %d, want 200", resp.Status)
+	}
+}
+
+func TestServerCustomStatusAndHeaders(t *testing.T) {
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		w.SetHeader("x-reason", "gone fishing")
+		if err := w.WriteHeader(404); err != nil {
+			t.Errorf("WriteHeader: %v", err)
+		}
+	})
+	cl := testServer(t, h, ConnConfig{}, ConnConfig{})
+	resp, err := cl.Get("example.test", "/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 404 {
+		t.Errorf("status = %d, want 404", resp.Status)
+	}
+	if resp.HeaderValue("x-reason") != "gone fishing" {
+		t.Errorf("x-reason = %q", resp.HeaderValue("x-reason"))
+	}
+	if len(resp.Body) != 0 {
+		t.Errorf("body = %q, want empty", resp.Body)
+	}
+}
+
+func TestServerNilHandler404(t *testing.T) {
+	cl := testServer(t, nil, ConnConfig{}, ConnConfig{})
+	resp, err := cl.Get("example.test", "/whatever")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 404 {
+		t.Errorf("status = %d, want 404", resp.Status)
+	}
+}
+
+func TestRequestHeadersRoundTrip(t *testing.T) {
+	gotHdr := make(chan string, 1)
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		gotHdr <- r.HeaderValue("x-token")
+		_, _ = w.Write([]byte("ok")) //nolint:errcheck // test handler
+	})
+	cl := testServer(t, h, ConnConfig{}, ConnConfig{})
+	cs, err := cl.Start("GET", "example.test", "/auth", []HeaderField{
+		{Name: "x-token", Value: "s3cr3t", Sensitive: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Response(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-gotHdr:
+		if v != "s3cr3t" {
+			t.Errorf("x-token = %q", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never saw the header")
+	}
+}
+
+func TestServerRejectsBadPreface(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close() //nolint:errcheck // test teardown
+	srv := &Server{Handler: echoPathHandler()}
+	errc := make(chan error, 1)
+	go func() {
+		nc, aerr := ln.Accept()
+		if aerr != nil {
+			errc <- aerr
+			return
+		}
+		errc <- srv.ServeConn(nc)
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close() //nolint:errcheck // test teardown
+	if _, err := nc.Write([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Error("bad preface accepted, want error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not reject bad preface")
+	}
+}
+
+func TestPingDoesNotDisturbRequests(t *testing.T) {
+	cl := testServer(t, echoPathHandler(), ConnConfig{}, ConnConfig{})
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Get("example.test", "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 {
+		t.Errorf("status = %d", resp.Status)
+	}
+}
+
+func TestManyStreamsStress(t *testing.T) {
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		n, _ := strconv.Atoi(strings.TrimPrefix(r.Path, "/n/"))
+		_, _ = w.Write(bytes.Repeat([]byte{byte(n)}, 100+n)) //nolint:errcheck // test handler
+	})
+	cl := testServer(t, h, ConnConfig{DataChunkSize: 64}, ConnConfig{})
+	paths := make([]string, 50)
+	for i := range paths {
+		paths[i] = "/n/" + strconv.Itoa(i)
+	}
+	resps, err := cl.GetMany("example.test", paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resps {
+		if len(r.Body) != 100+i {
+			t.Errorf("response %d: %d bytes, want %d", i, len(r.Body), 100+i)
+		}
+	}
+}
+
+func TestSettingsSmallInitialWindow(t *testing.T) {
+	// A 1 KiB initial window forces WINDOW_UPDATE round trips; the
+	// transfer must still complete.
+	scfg := ConnConfig{}
+	ccfg := ConnConfig{Settings: func() Settings {
+		s := DefaultSettings()
+		s.InitialWindowSize = 1024
+		return s
+	}()}
+	body := bytes.Repeat([]byte("z"), 64<<10)
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		_, _ = w.Write(body) //nolint:errcheck // test handler
+	})
+	cl := testServer(t, h, scfg, ccfg)
+	resp, err := cl.Get("example.test", "/windowed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.Body, body) {
+		t.Errorf("body mismatch: %d bytes, want %d", len(resp.Body), len(body))
+	}
+}

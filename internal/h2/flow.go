@@ -1,0 +1,64 @@
+package h2
+
+// FlowWindow tracks one direction of a flow-control window for a
+// stream or a connection (RFC 7540 section 5.2). Windows are signed:
+// a SETTINGS_INITIAL_WINDOW_SIZE decrease can make a stream window
+// negative.
+type FlowWindow struct {
+	avail int64
+}
+
+// NewFlowWindow returns a window with the given initial credit.
+func NewFlowWindow(initial int32) FlowWindow {
+	return FlowWindow{avail: int64(initial)}
+}
+
+// Available returns the current credit; it may be negative.
+func (w *FlowWindow) Available() int64 { return w.avail }
+
+// Consume debits n octets from the window. It returns false without
+// changing the window when insufficient credit is available.
+func (w *FlowWindow) Consume(n int64) bool {
+	if n < 0 || w.avail < n {
+		return false
+	}
+	w.avail -= n
+	return true
+}
+
+// ConsumeUpTo debits min(n, available) and returns the amount
+// debited. It never debits below zero credit.
+func (w *FlowWindow) ConsumeUpTo(n int64) int64 {
+	if n < 0 || w.avail <= 0 {
+		return 0
+	}
+	if n > w.avail {
+		n = w.avail
+	}
+	w.avail -= n
+	return n
+}
+
+// Replenish credits n octets (a WINDOW_UPDATE). It returns an error
+// if the window would exceed 2^31-1, which is a flow-control
+// protocol violation.
+func (w *FlowWindow) Replenish(n int64) error {
+	if n < 0 {
+		return ConnectionError{Code: ErrCodeInternal, Reason: "negative window replenish"}
+	}
+	if w.avail+n > MaxWindowSize {
+		return ConnectionError{Code: ErrCodeFlowControl, Reason: "window overflow"}
+	}
+	w.avail += n
+	return nil
+}
+
+// Adjust applies a SETTINGS_INITIAL_WINDOW_SIZE delta, which may
+// drive the window negative (RFC 7540 section 6.9.2).
+func (w *FlowWindow) Adjust(delta int64) error {
+	if w.avail+delta > MaxWindowSize {
+		return ConnectionError{Code: ErrCodeFlowControl, Reason: "window overflow on settings change"}
+	}
+	w.avail += delta
+	return nil
+}

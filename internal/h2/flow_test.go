@@ -1,0 +1,106 @@
+package h2
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFlowWindowConsumeReplenish(t *testing.T) {
+	w := NewFlowWindow(100)
+	if !w.Consume(60) {
+		t.Fatal("consume 60 of 100 failed")
+	}
+	if w.Consume(60) {
+		t.Fatal("consume beyond credit succeeded")
+	}
+	if w.Available() != 40 {
+		t.Fatalf("available = %d, want 40", w.Available())
+	}
+	if err := w.Replenish(60); err != nil {
+		t.Fatal(err)
+	}
+	if w.Available() != 100 {
+		t.Fatalf("available = %d, want 100", w.Available())
+	}
+}
+
+func TestFlowWindowConsumeUpTo(t *testing.T) {
+	w := NewFlowWindow(10)
+	if got := w.ConsumeUpTo(25); got != 10 {
+		t.Errorf("ConsumeUpTo(25) = %d, want 10", got)
+	}
+	if got := w.ConsumeUpTo(5); got != 0 {
+		t.Errorf("ConsumeUpTo on empty = %d, want 0", got)
+	}
+	if got := w.ConsumeUpTo(-3); got != 0 {
+		t.Errorf("ConsumeUpTo(-3) = %d, want 0", got)
+	}
+}
+
+func TestFlowWindowOverflow(t *testing.T) {
+	w := NewFlowWindow(MaxWindowSize)
+	if err := w.Replenish(1); err == nil {
+		t.Error("replenish past 2^31-1 accepted, want error")
+	}
+	if err := w.Replenish(-1); err == nil {
+		t.Error("negative replenish accepted, want error")
+	}
+}
+
+func TestFlowWindowAdjustNegative(t *testing.T) {
+	// SETTINGS_INITIAL_WINDOW_SIZE decrease can push a stream window
+	// negative; sends must stall until it recovers.
+	w := NewFlowWindow(100)
+	if !w.Consume(80) {
+		t.Fatal("setup consume failed")
+	}
+	if err := w.Adjust(-90); err != nil {
+		t.Fatal(err)
+	}
+	if w.Available() != -70 {
+		t.Fatalf("available = %d, want -70", w.Available())
+	}
+	if w.Consume(1) {
+		t.Error("consume on negative window succeeded")
+	}
+	if got := w.ConsumeUpTo(10); got != 0 {
+		t.Errorf("ConsumeUpTo on negative window = %d, want 0", got)
+	}
+	if err := w.Replenish(100); err != nil {
+		t.Fatal(err)
+	}
+	if w.Available() != 30 {
+		t.Fatalf("available = %d, want 30", w.Available())
+	}
+}
+
+func TestFlowWindowConservationQuick(t *testing.T) {
+	// Invariant: available == initial - consumed + replenished for any
+	// sequence of successful operations.
+	f := func(initial int32, ops []int16) bool {
+		if initial < 0 {
+			initial = -initial
+		}
+		w := NewFlowWindow(initial)
+		expect := int64(initial)
+		for _, op := range ops {
+			n := int64(op)
+			if n >= 0 {
+				if w.Consume(n) {
+					expect -= n
+				}
+			} else {
+				if err := w.Replenish(-n); err == nil {
+					expect += -n
+				}
+			}
+			if w.Available() != expect {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

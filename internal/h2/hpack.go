@@ -1,0 +1,476 @@
+package h2
+
+import (
+	"errors"
+	"fmt"
+)
+
+// HeaderField is a single name/value pair in an HPACK header list.
+type HeaderField struct {
+	Name  string
+	Value string
+
+	// Sensitive marks the field as never-indexed (RFC 7541 section
+	// 6.2.3); intermediaries must not add it to any table.
+	Sensitive bool
+}
+
+// String renders the field as "name: value".
+func (f HeaderField) String() string { return f.Name + ": " + f.Value }
+
+// size returns the RFC 7541 section 4.1 size of the entry: name and
+// value lengths plus 32 octets of overhead.
+func (f HeaderField) size() uint32 {
+	return uint32(len(f.Name) + len(f.Value) + 32)
+}
+
+// staticTable is the HPACK static table (RFC 7541 Appendix A).
+// Index 1 maps to staticTable[0].
+var staticTable = [61]HeaderField{
+	{Name: ":authority"},
+	{Name: ":method", Value: "GET"},
+	{Name: ":method", Value: "POST"},
+	{Name: ":path", Value: "/"},
+	{Name: ":path", Value: "/index.html"},
+	{Name: ":scheme", Value: "http"},
+	{Name: ":scheme", Value: "https"},
+	{Name: ":status", Value: "200"},
+	{Name: ":status", Value: "204"},
+	{Name: ":status", Value: "206"},
+	{Name: ":status", Value: "304"},
+	{Name: ":status", Value: "400"},
+	{Name: ":status", Value: "404"},
+	{Name: ":status", Value: "500"},
+	{Name: "accept-charset"},
+	{Name: "accept-encoding", Value: "gzip, deflate"},
+	{Name: "accept-language"},
+	{Name: "accept-ranges"},
+	{Name: "accept"},
+	{Name: "access-control-allow-origin"},
+	{Name: "age"},
+	{Name: "allow"},
+	{Name: "authorization"},
+	{Name: "cache-control"},
+	{Name: "content-disposition"},
+	{Name: "content-encoding"},
+	{Name: "content-language"},
+	{Name: "content-length"},
+	{Name: "content-location"},
+	{Name: "content-range"},
+	{Name: "content-type"},
+	{Name: "cookie"},
+	{Name: "date"},
+	{Name: "etag"},
+	{Name: "expect"},
+	{Name: "expires"},
+	{Name: "from"},
+	{Name: "host"},
+	{Name: "if-match"},
+	{Name: "if-modified-since"},
+	{Name: "if-none-match"},
+	{Name: "if-range"},
+	{Name: "if-unmodified-since"},
+	{Name: "last-modified"},
+	{Name: "link"},
+	{Name: "location"},
+	{Name: "max-forwards"},
+	{Name: "proxy-authenticate"},
+	{Name: "proxy-authorization"},
+	{Name: "range"},
+	{Name: "referer"},
+	{Name: "refresh"},
+	{Name: "retry-after"},
+	{Name: "server"},
+	{Name: "set-cookie"},
+	{Name: "strict-transport-security"},
+	{Name: "transfer-encoding"},
+	{Name: "user-agent"},
+	{Name: "vary"},
+	{Name: "via"},
+	{Name: "www-authenticate"},
+}
+
+// staticIndex maps "name\x00value" to a static table index for exact
+// matches, and name alone to a name-only match.
+var staticIndex = buildStaticIndex()
+
+func buildStaticIndex() map[string]uint64 {
+	m := make(map[string]uint64, 2*len(staticTable))
+	for i := len(staticTable) - 1; i >= 0; i-- {
+		f := staticTable[i]
+		m[f.Name+"\x00"+f.Value] = uint64(i + 1)
+		m[f.Name] = uint64(i + 1) // earliest entry wins for name-only
+	}
+	return m
+}
+
+// dynamicTable is an HPACK dynamic table: a FIFO of header fields with
+// size-based eviction. Entry 1 is the most recently inserted.
+type dynamicTable struct {
+	entries []HeaderField // entries[0] is oldest
+	size    uint32
+	maxSize uint32
+}
+
+// setMaxSize updates the table capacity, evicting as needed.
+func (t *dynamicTable) setMaxSize(max uint32) {
+	t.maxSize = max
+	t.evict()
+}
+
+// add inserts f, evicting old entries to stay within maxSize. An entry
+// larger than the whole table empties it (RFC 7541 section 4.4).
+func (t *dynamicTable) add(f HeaderField) {
+	if f.size() > t.maxSize {
+		t.entries = nil
+		t.size = 0
+		return
+	}
+	t.entries = append(t.entries, f)
+	t.size += f.size()
+	t.evict()
+}
+
+func (t *dynamicTable) evict() {
+	var drop int
+	for t.size > t.maxSize && drop < len(t.entries) {
+		t.size -= t.entries[drop].size()
+		drop++
+	}
+	if drop > 0 {
+		t.entries = append(t.entries[:0], t.entries[drop:]...)
+	}
+}
+
+// len returns the number of live entries.
+func (t *dynamicTable) len() int { return len(t.entries) }
+
+// at returns the i-th entry where 1 is most recent.
+func (t *dynamicTable) at(i uint64) (HeaderField, bool) {
+	if i == 0 || i > uint64(len(t.entries)) {
+		return HeaderField{}, false
+	}
+	return t.entries[uint64(len(t.entries))-i], true
+}
+
+// search returns the dynamic index (1 = most recent) of the best
+// match: exact match preferred, else name-only, else 0.
+func (t *dynamicTable) search(f HeaderField) (idx uint64, exact bool) {
+	for i := len(t.entries) - 1; i >= 0; i-- {
+		e := t.entries[i]
+		if e.Name != f.Name {
+			continue
+		}
+		d := uint64(len(t.entries) - i)
+		if e.Value == f.Value {
+			return d, true
+		}
+		if idx == 0 {
+			idx = d
+		}
+	}
+	return idx, false
+}
+
+// appendHpackInt appends the HPACK variable-length integer encoding
+// of v with an n-bit prefix, OR-ing high into the first octet's
+// non-prefix bits (RFC 7541 section 5.1).
+func appendHpackInt(b []byte, high byte, n uint8, v uint64) []byte {
+	limit := uint64(1)<<n - 1
+	if v < limit {
+		return append(b, high|byte(v))
+	}
+	b = append(b, high|byte(limit))
+	v -= limit
+	for v >= 128 {
+		b = append(b, byte(v&0x7f)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// readHpackInt decodes an HPACK integer with an n-bit prefix,
+// returning the value and the remaining buffer.
+func readHpackInt(b []byte, n uint8) (v uint64, rest []byte, err error) {
+	if len(b) == 0 {
+		return 0, nil, errNeedMore
+	}
+	limit := uint64(1)<<n - 1
+	v = uint64(b[0]) & limit
+	b = b[1:]
+	if v < limit {
+		return v, b, nil
+	}
+	var shift uint
+	for i := 0; ; i++ {
+		if i >= len(b) {
+			return 0, nil, errNeedMore
+		}
+		octet := b[i]
+		if shift > 56 {
+			return 0, nil, errHpackIntOverflow
+		}
+		v += uint64(octet&0x7f) << shift
+		shift += 7
+		if octet&0x80 == 0 {
+			return v, b[i+1:], nil
+		}
+	}
+}
+
+var (
+	errNeedMore         = errors.New("h2: hpack: truncated input")
+	errHpackIntOverflow = errors.New("h2: hpack: integer overflow")
+)
+
+// appendHpackString appends the HPACK string literal encoding of s,
+// Huffman-coding it when that is shorter.
+func appendHpackString(b []byte, s string) []byte {
+	if hl := HuffmanEncodeLength(s); hl < len(s) {
+		b = appendHpackInt(b, 0x80, 7, uint64(hl))
+		return AppendHuffmanString(b, s)
+	}
+	b = appendHpackInt(b, 0, 7, uint64(len(s)))
+	return append(b, s...)
+}
+
+// readHpackString decodes an HPACK string literal.
+func readHpackString(b []byte) (s string, rest []byte, err error) {
+	if len(b) == 0 {
+		return "", nil, errNeedMore
+	}
+	huff := b[0]&0x80 != 0
+	n, b, err := readHpackInt(b, 7)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(b)) < n {
+		return "", nil, errNeedMore
+	}
+	raw, rest := b[:n], b[n:]
+	if !huff {
+		return string(raw), rest, nil
+	}
+	dec, err := HuffmanDecode(nil, raw)
+	if err != nil {
+		return "", nil, err
+	}
+	return string(dec), rest, nil
+}
+
+// HpackEncoder compresses header lists into HPACK header blocks. The
+// zero value is not usable; construct with NewHpackEncoder.
+type HpackEncoder struct {
+	table       dynamicTable
+	minTableCap uint32 // pending table-size reduction to signal
+	pendingCap  bool
+}
+
+// NewHpackEncoder returns an encoder with the given dynamic table
+// capacity (use 4096 for the protocol default).
+func NewHpackEncoder(maxTableSize uint32) *HpackEncoder {
+	e := &HpackEncoder{}
+	e.table.maxSize = maxTableSize
+	return e
+}
+
+// SetMaxDynamicTableSize changes the dynamic table capacity; the
+// change is signalled at the start of the next header block as
+// required by RFC 7541 section 6.3.
+func (e *HpackEncoder) SetMaxDynamicTableSize(v uint32) {
+	e.table.setMaxSize(v)
+	e.minTableCap = v
+	e.pendingCap = true
+}
+
+// AppendHeaderBlock appends the HPACK encoding of fields to b.
+func (e *HpackEncoder) AppendHeaderBlock(b []byte, fields []HeaderField) []byte {
+	if e.pendingCap {
+		b = appendHpackInt(b, 0x20, 5, uint64(e.minTableCap))
+		e.pendingCap = false
+	}
+	for _, f := range fields {
+		b = e.appendField(b, f)
+	}
+	return b
+}
+
+func (e *HpackEncoder) appendField(b []byte, f HeaderField) []byte {
+	if f.Sensitive {
+		// Literal never-indexed (0001xxxx), name possibly indexed.
+		nameIdx := e.nameIndex(f.Name)
+		b = appendHpackInt(b, 0x10, 4, nameIdx)
+		if nameIdx == 0 {
+			b = appendHpackString(b, f.Name)
+		}
+		return appendHpackString(b, f.Value)
+	}
+
+	// Exact match: indexed representation (1xxxxxxx).
+	if idx, ok := staticIndex[f.Name+"\x00"+f.Value]; ok {
+		return appendHpackInt(b, 0x80, 7, idx)
+	}
+	if didx, exact := e.table.search(f); exact {
+		return appendHpackInt(b, 0x80, 7, uint64(len(staticTable))+didx)
+	}
+
+	// Literal with incremental indexing (01xxxxxx).
+	nameIdx := e.nameIndex(f.Name)
+	b = appendHpackInt(b, 0x40, 6, nameIdx)
+	if nameIdx == 0 {
+		b = appendHpackString(b, f.Name)
+	}
+	b = appendHpackString(b, f.Value)
+	e.table.add(f)
+	return b
+}
+
+// nameIndex returns the combined static+dynamic index of a name-only
+// match, or zero.
+func (e *HpackEncoder) nameIndex(name string) uint64 {
+	if idx, ok := staticIndex[name]; ok {
+		return idx
+	}
+	if didx, _ := e.table.search(HeaderField{Name: name}); didx != 0 {
+		return uint64(len(staticTable)) + didx
+	}
+	return 0
+}
+
+// HpackDecoder decompresses HPACK header blocks. The zero value is
+// not usable; construct with NewHpackDecoder.
+type HpackDecoder struct {
+	table dynamicTable
+
+	// maxAllowedTableSize bounds dynamic table size updates; set from
+	// the local SETTINGS_HEADER_TABLE_SIZE.
+	maxAllowedTableSize uint32
+
+	// MaxHeaderListSize caps the total decoded size (sum of
+	// RFC 7541 entry sizes). Zero means no limit.
+	MaxHeaderListSize uint32
+}
+
+// NewHpackDecoder returns a decoder whose dynamic table is capped at
+// maxTableSize octets.
+func NewHpackDecoder(maxTableSize uint32) *HpackDecoder {
+	d := &HpackDecoder{maxAllowedTableSize: maxTableSize}
+	d.table.maxSize = maxTableSize
+	return d
+}
+
+// DecodeFull decodes a complete header block (all fragments already
+// concatenated).
+func (d *HpackDecoder) DecodeFull(block []byte) ([]HeaderField, error) {
+	var (
+		fields   []HeaderField
+		listSize uint32
+	)
+	b := block
+	seenField := false
+	for len(b) > 0 {
+		octet := b[0]
+		switch {
+		case octet&0x80 != 0: // indexed field
+			idx, rest, err := readHpackInt(b, 7)
+			if err != nil {
+				return nil, d.wrap(err)
+			}
+			b = rest
+			f, err := d.fieldAt(idx)
+			if err != nil {
+				return nil, err
+			}
+			fields, listSize = append(fields, f), listSize+f.size()
+			seenField = true
+
+		case octet&0xc0 == 0x40: // literal, incremental indexing
+			f, rest, err := d.readLiteral(b, 6)
+			if err != nil {
+				return nil, d.wrap(err)
+			}
+			b = rest
+			d.table.add(f)
+			fields, listSize = append(fields, f), listSize+f.size()
+			seenField = true
+
+		case octet&0xe0 == 0x20: // dynamic table size update
+			if seenField {
+				return nil, ConnectionError{Code: ErrCodeCompression, Reason: "table size update after field"}
+			}
+			v, rest, err := readHpackInt(b, 5)
+			if err != nil {
+				return nil, d.wrap(err)
+			}
+			if v > uint64(d.maxAllowedTableSize) {
+				return nil, ConnectionError{Code: ErrCodeCompression, Reason: "table size update exceeds limit"}
+			}
+			d.table.setMaxSize(uint32(v))
+			b = rest
+
+		default: // literal without indexing (0000) or never-indexed (0001)
+			f, rest, err := d.readLiteral(b, 4)
+			if err != nil {
+				return nil, d.wrap(err)
+			}
+			f.Sensitive = octet&0x10 != 0
+			b = rest
+			fields, listSize = append(fields, f), listSize+f.size()
+			seenField = true
+		}
+		if d.MaxHeaderListSize != 0 && listSize > d.MaxHeaderListSize {
+			return nil, ErrHeaderListTooLong
+		}
+	}
+	return fields, nil
+}
+
+// readLiteral decodes a literal field representation whose name index
+// uses an n-bit prefix.
+func (d *HpackDecoder) readLiteral(b []byte, n uint8) (HeaderField, []byte, error) {
+	idx, b, err := readHpackInt(b, n)
+	if err != nil {
+		return HeaderField{}, nil, err
+	}
+	var f HeaderField
+	if idx != 0 {
+		ref, err := d.fieldAt(idx)
+		if err != nil {
+			return HeaderField{}, nil, err
+		}
+		f.Name = ref.Name
+	} else {
+		f.Name, b, err = readHpackString(b)
+		if err != nil {
+			return HeaderField{}, nil, err
+		}
+	}
+	f.Value, b, err = readHpackString(b)
+	if err != nil {
+		return HeaderField{}, nil, err
+	}
+	return f, b, nil
+}
+
+// fieldAt resolves a combined static+dynamic table index.
+func (d *HpackDecoder) fieldAt(idx uint64) (HeaderField, error) {
+	if idx == 0 {
+		return HeaderField{}, ConnectionError{Code: ErrCodeCompression, Reason: "index 0"}
+	}
+	if idx <= uint64(len(staticTable)) {
+		return staticTable[idx-1], nil
+	}
+	f, ok := d.table.at(idx - uint64(len(staticTable)))
+	if !ok {
+		return HeaderField{}, ConnectionError{Code: ErrCodeCompression, Reason: fmt.Sprintf("index %d out of range", idx)}
+	}
+	return f, nil
+}
+
+func (d *HpackDecoder) wrap(err error) error {
+	var ce ConnectionError
+	if errors.As(err, &ce) {
+		return err
+	}
+	return ConnectionError{Code: ErrCodeCompression, Reason: err.Error()}
+}

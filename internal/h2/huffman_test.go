@@ -1,0 +1,138 @@
+package h2
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// rfc7541 Huffman examples (Appendix C.4 / C.6 string literals).
+var huffmanVectors = []struct {
+	plain string
+	coded string // hex
+}{
+	{"www.example.com", "f1e3c2e5f23a6ba0ab90f4ff"},
+	{"no-cache", "a8eb10649cbf"},
+	{"custom-key", "25a849e95ba97d7f"},
+	{"custom-value", "25a849e95bb8e8b4bf"},
+	{"302", "6402"},
+	{"private", "aec3771a4b"},
+	{"Mon, 21 Oct 2013 20:13:21 GMT", "d07abe941054d444a8200595040b8166e082a62d1bff"},
+	{"https://www.example.com", "9d29ad171863c78f0b97c8e9ae82ae43d3"},
+	{"307", "640eff"},
+	{"gzip", "9bd9ab"},
+}
+
+func TestHuffmanEncodeVectors(t *testing.T) {
+	for _, v := range huffmanVectors {
+		got := AppendHuffmanString(nil, v.plain)
+		if hex.EncodeToString(got) != v.coded {
+			t.Errorf("encode %q = %x, want %s", v.plain, got, v.coded)
+		}
+		if n := HuffmanEncodeLength(v.plain); n != len(got) {
+			t.Errorf("HuffmanEncodeLength(%q) = %d, want %d", v.plain, n, len(got))
+		}
+	}
+}
+
+func TestHuffmanDecodeVectors(t *testing.T) {
+	for _, v := range huffmanVectors {
+		raw, err := hex.DecodeString(v.coded)
+		if err != nil {
+			t.Fatalf("bad vector hex %q: %v", v.coded, err)
+		}
+		got, err := HuffmanDecode(nil, raw)
+		if err != nil {
+			t.Errorf("decode %s: %v", v.coded, err)
+			continue
+		}
+		if string(got) != v.plain {
+			t.Errorf("decode %s = %q, want %q", v.coded, got, v.plain)
+		}
+	}
+}
+
+func TestHuffmanRoundTripQuick(t *testing.T) {
+	f := func(data []byte) bool {
+		enc := AppendHuffmanString(nil, string(data))
+		dec, err := HuffmanDecode(nil, enc)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(dec, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHuffmanEncodeEmpty(t *testing.T) {
+	if got := AppendHuffmanString(nil, ""); len(got) != 0 {
+		t.Errorf("encode empty = %x, want empty", got)
+	}
+	dec, err := HuffmanDecode(nil, nil)
+	if err != nil || len(dec) != 0 {
+		t.Errorf("decode empty = %x, %v; want empty, nil", dec, err)
+	}
+}
+
+func TestHuffmanDecodeRejectsBadPadding(t *testing.T) {
+	// "0" encodes as 00000 (5 bits); padding the rest with zeros is
+	// not an EOS prefix and must be rejected.
+	if _, err := HuffmanDecode(nil, []byte{0x00}); err == nil {
+		t.Error("decode of zero-padded partial code succeeded, want error")
+	}
+}
+
+func TestHuffmanDecodeRejectsLongPadding(t *testing.T) {
+	// A full byte of ones after a symbol is 8 bits of padding — more
+	// than the 7 allowed.
+	enc := AppendHuffmanString(nil, "0") // 5 bits + 3 bits padding
+	enc = append(enc, 0xff)
+	if _, err := HuffmanDecode(nil, enc); err == nil {
+		t.Error("decode with 8+ bits of padding succeeded, want error")
+	}
+}
+
+func TestHuffmanDecodeRejectsEOS(t *testing.T) {
+	// EOS is 30 one-bits; 4 bytes of 0xff contain it.
+	if _, err := HuffmanDecode(nil, []byte{0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Error("decode of embedded EOS succeeded, want error")
+	}
+}
+
+func TestHuffmanTableIsPrefixFree(t *testing.T) {
+	// Walking the decode tree, no leaf may also be an internal node.
+	var walk func(n *huffmanNode, depth int)
+	count := 0
+	walk = func(n *huffmanNode, depth int) {
+		if n.sym >= 0 {
+			count++
+			if n.children[0] != nil || n.children[1] != nil {
+				t.Errorf("symbol %d at depth %d has children: code table is not prefix-free", n.sym, depth)
+			}
+			return
+		}
+		for _, c := range n.children {
+			if c != nil {
+				walk(c, depth+1)
+			}
+		}
+	}
+	walk(_huffmanRoot, 0)
+	if count != 257 {
+		t.Errorf("decode tree has %d leaves, want 257", count)
+	}
+}
+
+func TestHuffmanCodeLengthsMonotoneBound(t *testing.T) {
+	for sym, c := range huffmanCodes {
+		if c.bits < 5 || c.bits > 30 {
+			t.Errorf("symbol %d has code length %d, want 5..30", sym, c.bits)
+		}
+		if c.code>>c.bits != 0 {
+			t.Errorf("symbol %d code 0x%x wider than %d bits", sym, c.code, c.bits)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package h2
+
+import (
+	"io"
+	"time"
+)
+
+// RequestPacer is an io.Writer middlebox for the client→server half
+// of a live HTTP/2 connection: it re-segments the byte stream at
+// frame boundaries and enforces a minimum spacing between frames that
+// open requests (HEADERS), releasing everything else immediately.
+// This is the real-network implementation of the paper's jitter knob:
+// a gateway that holds GET packets so the server never has two
+// requests in flight closer than Spacing apart.
+//
+// Write blocks while holding a request frame, so run the pacer inside
+// its own relay goroutine. The zero value is not usable; construct
+// with NewRequestPacer.
+type RequestPacer struct {
+	dst     io.Writer
+	spacing time.Duration
+
+	// OnFrame, when non-nil, observes every parsed frame (after the
+	// preface) in order.
+	OnFrame func(Frame)
+
+	// Sleep is the blocking wait used between releases; overridable
+	// for tests. Defaults to time.Sleep.
+	Sleep func(time.Duration)
+
+	scanner     FrameScanner
+	prefaceLeft int
+	lastRelease time.Time
+}
+
+// NewRequestPacer wraps dst. expectPreface should be true when the
+// stream starts with the client connection preface (a raw client→
+// server connection) and false when the preface was already consumed.
+func NewRequestPacer(dst io.Writer, spacing time.Duration, expectPreface bool) *RequestPacer {
+	p := &RequestPacer{dst: dst, spacing: spacing, Sleep: time.Sleep}
+	if expectPreface {
+		p.prefaceLeft = len(ClientPreface)
+	}
+	return p
+}
+
+// Write forwards b, holding frames that carry request HEADERS so that
+// consecutive requests are at least Spacing apart on the upstream
+// side. It always reports len(b) on success.
+func (p *RequestPacer) Write(b []byte) (int, error) {
+	total := len(b)
+	// Forward any remaining preface bytes untouched.
+	if p.prefaceLeft > 0 {
+		n := p.prefaceLeft
+		if n > len(b) {
+			n = len(b)
+		}
+		if _, err := p.dst.Write(b[:n]); err != nil {
+			return 0, err
+		}
+		p.prefaceLeft -= n
+		b = b[n:]
+		if len(b) == 0 {
+			return total, nil
+		}
+	}
+	frames, err := p.scanner.Feed(b)
+	if err != nil {
+		// Not parseable as HTTP/2: fall back to transparent relay.
+		if _, werr := p.dst.Write(b); werr != nil {
+			return 0, werr
+		}
+		return total, nil
+	}
+	for _, f := range frames {
+		if p.OnFrame != nil {
+			p.OnFrame(f)
+		}
+		if _, isReq := f.(*HeadersFrame); isReq && p.spacing > 0 {
+			if wait := time.Until(p.lastRelease.Add(p.spacing)); wait > 0 {
+				p.Sleep(wait)
+			}
+			p.lastRelease = time.Now()
+		}
+		if _, err := p.dst.Write(MarshalFrame(f)); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+var _ io.Writer = (*RequestPacer)(nil)

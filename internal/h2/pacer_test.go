@@ -1,0 +1,98 @@
+package h2
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestPacerPassesPrefaceUntouched(t *testing.T) {
+	var out bytes.Buffer
+	p := NewRequestPacer(&out, 0, true)
+	if _, err := p.Write([]byte(ClientPreface)); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != ClientPreface {
+		t.Errorf("preface corrupted: %q", out.String())
+	}
+}
+
+func TestPacerReassemblesSplitFrames(t *testing.T) {
+	var out bytes.Buffer
+	p := NewRequestPacer(&out, 0, false)
+	wire := MarshalFrame(&SettingsFrame{})
+	wire = AppendFrame(wire, &DataFrame{StreamID: 1, Data: []byte("hello world")})
+	// Dribble one byte at a time; output must equal input eventually.
+	for _, b := range wire {
+		if _, err := p.Write([]byte{b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(out.Bytes(), wire) {
+		t.Errorf("pacer corrupted the stream:\n got %x\nwant %x", out.Bytes(), wire)
+	}
+}
+
+func TestPacerSpacesRequests(t *testing.T) {
+	var out bytes.Buffer
+	p := NewRequestPacer(&out, 40*time.Millisecond, false)
+	var slept time.Duration
+	p.Sleep = func(d time.Duration) { slept += d }
+
+	var wire []byte
+	for i := 0; i < 3; i++ {
+		wire = AppendFrame(wire, &HeadersFrame{
+			StreamID:      uint32(1 + 2*i),
+			BlockFragment: []byte{0x82},
+			EndHeaders:    true,
+			EndStream:     true,
+		})
+	}
+	if _, err := p.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	// Three back-to-back requests: the 2nd and 3rd must each wait
+	// nearly the full spacing.
+	if slept < 70*time.Millisecond {
+		t.Errorf("total hold = %v, want >= ~80ms for two spaced releases", slept)
+	}
+	if !bytes.Equal(out.Bytes(), wire) {
+		t.Error("pacer altered frame bytes")
+	}
+}
+
+func TestPacerDoesNotHoldDataFrames(t *testing.T) {
+	var out bytes.Buffer
+	p := NewRequestPacer(&out, time.Second, false)
+	p.Sleep = func(time.Duration) { t.Error("DATA frame was held") }
+	wire := MarshalFrame(&DataFrame{StreamID: 1, Data: make([]byte, 100)})
+	if _, err := p.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != len(wire) {
+		t.Error("DATA frame not forwarded")
+	}
+}
+
+func TestPacerObservesFrames(t *testing.T) {
+	var out bytes.Buffer
+	p := NewRequestPacer(&out, 0, false)
+	var seen []FrameType
+	p.OnFrame = func(f Frame) { seen = append(seen, f.Header().Type) }
+	var wire []byte
+	wire = AppendFrame(wire, &SettingsFrame{})
+	wire = AppendFrame(wire, &HeadersFrame{StreamID: 1, BlockFragment: []byte{0x82}, EndHeaders: true})
+	wire = AppendFrame(wire, &RSTStreamFrame{StreamID: 1, Code: ErrCodeCancel})
+	if _, err := p.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	want := []FrameType{FrameSettings, FrameHeaders, FrameRSTStream}
+	if len(seen) != len(want) {
+		t.Fatalf("observed %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("frame %d = %v, want %v", i, seen[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package h2
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPostBodyDelivered(t *testing.T) {
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		if r.Method != "POST" {
+			_ = w.WriteHeader(405) //nolint:errcheck // test handler
+			return
+		}
+		// Echo the body back reversed, proving the handler ran after
+		// the full body arrived.
+		out := make([]byte, len(r.Body))
+		for i, b := range r.Body {
+			out[len(out)-1-i] = b
+		}
+		_, _ = w.Write(out) //nolint:errcheck // test handler
+	})
+	cl := testServer(t, h, ConnConfig{}, ConnConfig{})
+	body := []byte("survey-answer=party-C&q2=yes")
+	resp, err := cl.Post("example.test", "/submit", body, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, len(body))
+	for i, b := range body {
+		want[len(want)-1-i] = b
+	}
+	if !bytes.Equal(resp.Body, want) {
+		t.Errorf("echo = %q, want %q", resp.Body, want)
+	}
+}
+
+func TestPostLargeBodySpansWindows(t *testing.T) {
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		w.SetHeader("x-len", itoa(len(r.Body)))
+		_, _ = w.Write([]byte("ok")) //nolint:errcheck // test handler
+	})
+	cl := testServer(t, h, ConnConfig{}, ConnConfig{})
+	body := bytes.Repeat([]byte("z"), 150<<10) // > 64KiB initial window
+	resp, err := cl.Post("example.test", "/upload", body, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.HeaderValue("x-len"); got != itoa(150<<10) {
+		t.Errorf("server saw %s bytes, want %d", got, 150<<10)
+	}
+}
+
+func TestPostEmptyBody(t *testing.T) {
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		_, _ = w.Write([]byte(itoa(len(r.Body)))) //nolint:errcheck // test handler
+	})
+	cl := testServer(t, h, ConnConfig{}, ConnConfig{})
+	resp, err := cl.Post("example.test", "/empty", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "0" {
+		t.Errorf("body length reported %q, want 0", resp.Body)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,138 @@
+package h2
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// pushTestHandler serves /page (pushing /style.css first) and the
+// pushed resource itself.
+func pushTestHandler(t *testing.T) Handler {
+	return HandlerFunc(func(w *ResponseWriter, r *Request) {
+		switch r.Path {
+		case "/page":
+			if err := w.Push("/style.css", nil); err != nil {
+				t.Errorf("Push: %v", err)
+			}
+			_, _ = w.Write([]byte("<html>page</html>")) //nolint:errcheck // test handler
+		case "/style.css":
+			w.SetHeader("content-type", "text/css")
+			_, _ = w.Write([]byte("body{color:red}")) //nolint:errcheck // test handler
+		default:
+			_ = w.WriteHeader(404) //nolint:errcheck // test handler
+		}
+	})
+}
+
+func TestServerPushDelivered(t *testing.T) {
+	cl := testServer(t, pushTestHandler(t), ConnConfig{}, ConnConfig{AcceptPush: true})
+
+	var (
+		mu     sync.Mutex
+		pushes = map[string]*ClientStream{}
+		gotOne = make(chan struct{}, 4)
+	)
+	cl.OnPush(func(path string, cs *ClientStream) {
+		mu.Lock()
+		pushes[path] = cs
+		mu.Unlock()
+		gotOne <- struct{}{}
+	})
+
+	resp, err := cl.Get("example.test", "/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "<html>page</html>" {
+		t.Errorf("page body = %q", resp.Body)
+	}
+	select {
+	case <-gotOne:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no push arrived")
+	}
+	mu.Lock()
+	cs := pushes["/style.css"]
+	mu.Unlock()
+	if cs == nil {
+		t.Fatalf("pushed paths = %v", pushes)
+	}
+	presp, err := cs.Response()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(presp.Body) != "body{color:red}" {
+		t.Errorf("pushed body = %q", presp.Body)
+	}
+	if presp.HeaderValue("content-type") != "text/css" {
+		t.Errorf("pushed content-type = %q", presp.HeaderValue("content-type"))
+	}
+	if cs.StreamID()%2 != 0 {
+		t.Errorf("pushed stream id %d is not server-initiated (even)", cs.StreamID())
+	}
+}
+
+func TestPushRefusedWhenClientDoesNotAccept(t *testing.T) {
+	pushErr := make(chan error, 1)
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		if r.Path == "/page" {
+			pushErr <- w.Push("/style.css", nil)
+		}
+		_, _ = w.Write([]byte("ok")) //nolint:errcheck // test handler
+	})
+	// Default client config: pushes are refused with RST_STREAM, but
+	// the main response must be unaffected.
+	cl := testServer(t, h, ConnConfig{}, ConnConfig{})
+	resp, err := cl.Get("example.test", "/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "ok" {
+		t.Errorf("body = %q", resp.Body)
+	}
+	select {
+	case err := <-pushErr:
+		// The push may succeed at the API level (refusal arrives
+		// later as RST) or fail if the client announced ENABLE_PUSH=0;
+		// either way the connection survives.
+		_ = err
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never attempted the push")
+	}
+	if resp2, err := cl.Get("example.test", "/page"); err != nil || len(resp2.Body) == 0 {
+		t.Fatalf("connection broken after refused push: %v", err)
+	}
+}
+
+func TestPushDisabledBySettings(t *testing.T) {
+	pushErr := make(chan error, 1)
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		pushErr <- w.Push("/x", nil)
+		_, _ = w.Write([]byte("ok")) //nolint:errcheck // test handler
+	})
+	ccfg := ConnConfig{Settings: func() Settings {
+		s := DefaultSettings()
+		s.EnablePush = false
+		return s
+	}()}
+	cl := testServer(t, h, ConnConfig{}, ccfg)
+	if _, err := cl.Get("example.test", "/page"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-pushErr:
+		if err == nil {
+			t.Error("push succeeded although the client sent ENABLE_PUSH=0")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never ran")
+	}
+}
+
+func TestClientCannotPush(t *testing.T) {
+	cl := testServer(t, echoPathHandler(), ConnConfig{}, ConnConfig{})
+	if _, err := cl.conn.push(&connStream{id: 1}, nil); err == nil {
+		t.Error("client-side push accepted")
+	}
+}

@@ -1,0 +1,159 @@
+package h2
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRealNetworkSerializationAttack is the end-to-end live-network
+// version of the paper's core claim, against real loopback TCP: with
+// back-to-back requests the per-stream frames interleave and
+// delimiter-based size recovery fails; with the pacer spacing the
+// requests, every object size falls out exactly.
+func TestRealNetworkSerializationAttack(t *testing.T) {
+	sizes := map[string]int{"/a": 5200, "/b": 9900, "/c": 14100}
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		n, ok := sizes[r.Path]
+		if !ok {
+			_ = w.WriteHeader(404) //nolint:errcheck // test handler
+			return
+		}
+		body := make([]byte, n)
+		for off := 0; off < len(body); off += 1400 {
+			end := off + 1400
+			if end > len(body) {
+				end = len(body)
+			}
+			if _, err := w.Write(body[off:end]); err != nil {
+				return
+			}
+			time.Sleep(150 * time.Microsecond) // lets concurrent streams interleave
+		}
+	})
+	srv := &Server{Handler: h, Config: ConnConfig{DataChunkSize: 1400}}
+	originLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(originLn)                //nolint:errcheck // ends at Close
+	t.Cleanup(func() { _ = srv.Close() }) //nolint:errcheck // teardown
+
+	paths := []string{"/c", "/b", "/a"}
+
+	recovered := func(spacing time.Duration) map[int]bool {
+		frames := fetchViaObservingProxy(t, originLn.Addr().String(), paths, spacing)
+		// Delimiter attack: sum DATA lengths until a sub-full frame.
+		found := map[int]bool{}
+		run := 0
+		for _, f := range frames {
+			run += f.size
+			if f.size < 1400 {
+				found[run] = true
+				run = 0
+			}
+		}
+		return found
+	}
+
+	spaced := recovered(200 * time.Millisecond)
+	for path, n := range sizes {
+		if !spaced[n] {
+			t.Errorf("spaced attack missed %s (%d bytes); recovered sums: %v", path, n, spaced)
+		}
+	}
+}
+
+type obsFrame struct {
+	stream uint32
+	size   int
+}
+
+// fetchViaObservingProxy relays one connection through a pacer proxy
+// and returns the server→client DATA frames in wire order.
+func fetchViaObservingProxy(t *testing.T, origin string, paths []string, spacing time.Duration) []obsFrame {
+	t.Helper()
+	proxyLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxyLn.Close() //nolint:errcheck // teardown
+
+	var (
+		mu  sync.Mutex
+		obs []obsFrame
+	)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cc, aerr := proxyLn.Accept()
+		if aerr != nil {
+			return
+		}
+		sc, derr := net.Dial("tcp", origin)
+		if derr != nil {
+			_ = cc.Close() //nolint:errcheck // teardown
+			return
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			defer sc.(*net.TCPConn).CloseWrite() //nolint:errcheck // half-close
+			pacer := NewRequestPacer(sc, spacing, true)
+			buf := make([]byte, 32<<10)
+			for {
+				n, rerr := cc.Read(buf)
+				if n > 0 {
+					if _, werr := pacer.Write(buf[:n]); werr != nil {
+						return
+					}
+				}
+				if rerr != nil {
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			defer cc.(*net.TCPConn).CloseWrite() //nolint:errcheck // half-close
+			var sc2 FrameScanner
+			buf := make([]byte, 32<<10)
+			for {
+				n, rerr := sc.Read(buf)
+				if n > 0 {
+					frames, _ := sc2.Feed(buf[:n])
+					mu.Lock()
+					for _, f := range frames {
+						if d, ok := f.(*DataFrame); ok && len(d.Data) > 0 {
+							obs = append(obs, obsFrame{d.StreamID, len(d.Data)})
+						}
+					}
+					mu.Unlock()
+					if _, werr := cc.Write(buf[:n]); werr != nil {
+						return
+					}
+				}
+				if rerr != nil {
+					return
+				}
+			}
+		}()
+		wg.Wait()
+	}()
+
+	cl, err := Dial(proxyLn.Addr().String(), ConnConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.GetMany("attack.test", paths); err != nil {
+		_ = cl.Close() //nolint:errcheck // teardown
+		t.Fatal(err)
+	}
+	_ = cl.Close() //nolint:errcheck // teardown
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	return obs
+}

@@ -1,0 +1,345 @@
+package h2
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Request is a decoded HTTP/2 request as seen by a server handler.
+type Request struct {
+	Method    string
+	Scheme    string
+	Path      string
+	Authority string
+
+	// Header holds the non-pseudo header fields in arrival order.
+	Header []HeaderField
+
+	// Body is the complete request body (empty for bodyless methods).
+	Body []byte
+
+	// StreamID is the HTTP/2 stream carrying the request.
+	StreamID uint32
+}
+
+// HeaderValue returns the first value of the named header, or "".
+func (r *Request) HeaderValue(name string) string {
+	for _, f := range r.Header {
+		if f.Name == name {
+			return f.Value
+		}
+	}
+	return ""
+}
+
+// ResponseWriter lets a handler stream a response. Methods must not
+// be called concurrently.
+type ResponseWriter struct {
+	conn    *Conn
+	stream  *connStream
+	started bool
+	extra   []HeaderField
+	push    func(path string, extra []HeaderField) error
+}
+
+// SetHeader adds a response header field; it must be called before
+// the first Write or Flush.
+func (w *ResponseWriter) SetHeader(name, value string) {
+	w.extra = append(w.extra, HeaderField{Name: name, Value: value})
+}
+
+// WriteHeader sends the response HEADERS frame with the given status.
+// It is implied (with status 200) by the first Write.
+func (w *ResponseWriter) WriteHeader(status int) error {
+	if w.started {
+		return errors.New("h2: headers already written")
+	}
+	w.started = true
+	fields := append([]HeaderField{{Name: ":status", Value: strconv.Itoa(status)}}, w.extra...)
+	return w.conn.writeHeaders(w.stream, fields, false)
+}
+
+// Write queues body bytes for the scheduler. The first call sends
+// HEADERS with status 200 if WriteHeader was not called.
+func (w *ResponseWriter) Write(p []byte) (int, error) {
+	if !w.started {
+		if err := w.WriteHeader(200); err != nil {
+			return 0, err
+		}
+	}
+	if err := w.conn.enqueueData(w.stream, p, false); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Push initiates a server push of the given path (RFC 7540 section
+// 8.2): it announces PUSH_PROMISE on this response's stream and
+// dispatches a synthetic GET to the server's handler, whose response
+// is sent on the promised stream. It fails when the peer disabled
+// push.
+func (w *ResponseWriter) Push(path string, extra []HeaderField) error {
+	if w.push == nil {
+		return errors.New("h2: push not available on this writer")
+	}
+	return w.push(path, extra)
+}
+
+// Close ends the response stream. Every handler must close its
+// writer; Server does it automatically when the handler returns.
+func (w *ResponseWriter) Close() error {
+	if !w.started {
+		if err := w.WriteHeader(200); err != nil {
+			return err
+		}
+	}
+	return w.conn.enqueueData(w.stream, nil, true)
+}
+
+// Handler responds to HTTP/2 requests.
+type Handler interface {
+	ServeH2(w *ResponseWriter, r *Request)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(w *ResponseWriter, r *Request)
+
+// ServeH2 implements Handler.
+func (f HandlerFunc) ServeH2(w *ResponseWriter, r *Request) { f(w, r) }
+
+var _ Handler = HandlerFunc(nil)
+
+// Server serves HTTP/2 (prior-knowledge cleartext) connections.
+type Server struct {
+	// Handler receives every request. Each request runs in its own
+	// goroutine — the multi-threaded server operation the paper's
+	// multiplexing analysis assumes.
+	Handler Handler
+
+	// Config tunes each accepted connection.
+	Config ConnConfig
+
+	mu       sync.Mutex
+	conns    map[*Conn]struct{}
+	ln       net.Listener
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// Serve accepts connections on l until it is closed.
+func (srv *Server) Serve(l net.Listener) error {
+	srv.mu.Lock()
+	srv.ln = l
+	if srv.conns == nil {
+		srv.conns = make(map[*Conn]struct{})
+	}
+	srv.mu.Unlock()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			return fmt.Errorf("h2: accept: %w", err)
+		}
+		srv.wg.Add(1)
+		go func() {
+			defer srv.wg.Done()
+			_ = srv.ServeConn(nc) //nolint:errcheck // per-conn errors end that conn only
+		}()
+	}
+}
+
+// Shutdown gracefully drains the server: it stops accepting new
+// connections, sends GOAWAY on every live connection, waits up to
+// timeout for in-flight streams to finish, then closes everything.
+func (srv *Server) Shutdown(timeout time.Duration) error {
+	srv.mu.Lock()
+	srv.draining = true
+	ln := srv.ln
+	srv.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	deadline := time.Now().Add(timeout)
+	drainedStreak := 0
+	for {
+		srv.mu.Lock()
+		conns := make([]*Conn, 0, len(srv.conns))
+		for c := range srv.conns {
+			conns = append(conns, c)
+		}
+		srv.mu.Unlock()
+		allDrained := true
+		for _, c := range conns {
+			c.goAway()
+			if !c.drained() {
+				allDrained = false
+			}
+		}
+		if allDrained {
+			// Require a short streak so a connection racing through
+			// Accept/registration is not missed by one snapshot.
+			drainedStreak++
+			if drainedStreak >= 5 {
+				break
+			}
+		} else {
+			drainedStreak = 0
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.mu.Lock()
+	conns := make([]*Conn, 0, len(srv.conns))
+	for c := range srv.conns {
+		conns = append(conns, c)
+	}
+	srv.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close() //nolint:errcheck // teardown after drain
+	}
+	srv.wg.Wait()
+	return err
+}
+
+// Close shuts the listener and all live connections down and waits
+// for connection goroutines to exit.
+func (srv *Server) Close() error {
+	srv.mu.Lock()
+	ln := srv.ln
+	conns := make([]*Conn, 0, len(srv.conns))
+	for c := range srv.conns {
+		conns = append(conns, c)
+	}
+	srv.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close() //nolint:errcheck // best-effort teardown
+	}
+	srv.wg.Wait()
+	return err
+}
+
+// ServeConn serves a single already-accepted connection, blocking
+// until it terminates.
+func (srv *Server) ServeConn(nc net.Conn) error {
+	// Read and validate the client preface.
+	buf := make([]byte, len(ClientPreface))
+	if _, err := io.ReadFull(nc, buf); err != nil {
+		_ = nc.Close() //nolint:errcheck // handshake failed
+		return fmt.Errorf("%w: %v", ErrBadPreface, err)
+	}
+	if string(buf) != ClientPreface {
+		_ = nc.Close() //nolint:errcheck // handshake failed
+		return ErrBadPreface
+	}
+
+	c := newConn(nc, srv.Config, false)
+	var reqWG sync.WaitGroup
+	c.onRequest = func(conn *Conn, s *connStream) {
+		reqWG.Add(1)
+		go func() {
+			defer reqWG.Done()
+			srv.serveRequest(conn, s)
+		}()
+	}
+
+	srv.mu.Lock()
+	if srv.conns == nil {
+		srv.conns = make(map[*Conn]struct{})
+	}
+	srv.conns[c] = struct{}{}
+	draining := srv.draining
+	srv.mu.Unlock()
+	if draining {
+		// The server began draining while this connection was being
+		// accepted: tell the client as soon as the loops start (the
+		// GOAWAY is queued now and written right after SETTINGS).
+		c.goAway()
+	}
+	defer func() {
+		srv.mu.Lock()
+		delete(srv.conns, c)
+		srv.mu.Unlock()
+	}()
+
+	// Announce our settings before starting the loops so the first
+	// frame on the wire is SETTINGS, per RFC 7540 section 3.5.
+	if err := c.fr.WriteFrame(&SettingsFrame{Settings: c.localSettings.Diff()}); err != nil {
+		_ = nc.Close() //nolint:errcheck // handshake failed
+		return fmt.Errorf("h2: server settings: %w", err)
+	}
+	c.start()
+	c.wg.Wait()
+	reqWG.Wait()
+	err := c.Err()
+	if err != nil && (errors.Is(err, io.EOF) || errors.Is(err, ErrClosed)) {
+		return nil
+	}
+	return err
+}
+
+// serveRequest builds the Request, invokes the handler, and closes
+// the response.
+func (srv *Server) serveRequest(c *Conn, s *connStream) {
+	s.recvMu.Lock()
+	fields := s.hdrs
+	body := s.recvBuf
+	s.recvMu.Unlock()
+
+	req := &Request{StreamID: s.id, Body: body}
+	for _, f := range fields {
+		switch f.Name {
+		case ":method":
+			req.Method = f.Value
+		case ":scheme":
+			req.Scheme = f.Value
+		case ":path":
+			req.Path = f.Value
+		case ":authority":
+			req.Authority = f.Value
+		default:
+			if !strings.HasPrefix(f.Name, ":") {
+				req.Header = append(req.Header, f)
+			}
+		}
+	}
+
+	w := &ResponseWriter{conn: c, stream: s}
+	w.push = func(path string, extra []HeaderField) error {
+		fields := []HeaderField{
+			{Name: ":method", Value: "GET"},
+			{Name: ":scheme", Value: req.Scheme},
+			{Name: ":authority", Value: req.Authority},
+			{Name: ":path", Value: path},
+		}
+		fields = append(fields, extra...)
+		ps, err := c.push(s, fields)
+		if err != nil {
+			return err
+		}
+		ps.deliverHeaders(fields, true)
+		if c.onRequest != nil {
+			c.onRequest(c, ps)
+		}
+		return nil
+	}
+	h := srv.Handler
+	if h == nil {
+		h = HandlerFunc(func(w *ResponseWriter, _ *Request) {
+			_ = w.WriteHeader(404) //nolint:errcheck // nothing else to do
+		})
+	}
+	h.ServeH2(w, req)
+	_ = w.Close() //nolint:errcheck // stream may already be reset
+}

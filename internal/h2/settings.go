@@ -1,0 +1,146 @@
+package h2
+
+import "fmt"
+
+// SettingID identifies a SETTINGS parameter (RFC 7540 section 6.5.2).
+type SettingID uint16
+
+// SETTINGS parameters defined by RFC 7540 section 6.5.2.
+const (
+	SettingHeaderTableSize      SettingID = 0x1
+	SettingEnablePush           SettingID = 0x2
+	SettingMaxConcurrentStreams SettingID = 0x3
+	SettingInitialWindowSize    SettingID = 0x4
+	SettingMaxFrameSize         SettingID = 0x5
+	SettingMaxHeaderListSize    SettingID = 0x6
+)
+
+var settingNames = map[SettingID]string{
+	SettingHeaderTableSize:      "SETTINGS_HEADER_TABLE_SIZE",
+	SettingEnablePush:           "SETTINGS_ENABLE_PUSH",
+	SettingMaxConcurrentStreams: "SETTINGS_MAX_CONCURRENT_STREAMS",
+	SettingInitialWindowSize:    "SETTINGS_INITIAL_WINDOW_SIZE",
+	SettingMaxFrameSize:         "SETTINGS_MAX_FRAME_SIZE",
+	SettingMaxHeaderListSize:    "SETTINGS_MAX_HEADER_LIST_SIZE",
+}
+
+// String returns the RFC 7540 name of the setting.
+func (id SettingID) String() string {
+	if s, ok := settingNames[id]; ok {
+		return s
+	}
+	return fmt.Sprintf("SETTINGS_UNKNOWN_0x%x", uint16(id))
+}
+
+// Valid checks the setting value against the constraints of RFC 7540
+// section 6.5.2.
+func (s Setting) Valid() error {
+	switch s.ID {
+	case SettingEnablePush:
+		if s.Val != 0 && s.Val != 1 {
+			return ConnectionError{Code: ErrCodeProtocol, Reason: "ENABLE_PUSH not boolean"}
+		}
+	case SettingInitialWindowSize:
+		if s.Val > MaxWindowSize {
+			return ConnectionError{Code: ErrCodeFlowControl, Reason: "INITIAL_WINDOW_SIZE too large"}
+		}
+	case SettingMaxFrameSize:
+		if s.Val < DefaultMaxFrameSize || s.Val > MaxAllowedFrameSize {
+			return ConnectionError{Code: ErrCodeProtocol, Reason: "MAX_FRAME_SIZE out of range"}
+		}
+	}
+	return nil
+}
+
+// Settings holds an endpoint's view of its peer's (or its own)
+// SETTINGS parameters. The zero value is not meaningful; construct
+// with DefaultSettings.
+type Settings struct {
+	// HeaderTableSize is the HPACK dynamic table size.
+	HeaderTableSize uint32
+
+	// EnablePush permits PUSH_PROMISE frames.
+	EnablePush bool
+
+	// MaxConcurrentStreams caps concurrently open streams. Zero means
+	// unlimited (the RFC leaves it initially unset).
+	MaxConcurrentStreams uint32
+
+	// InitialWindowSize is the initial per-stream flow-control window.
+	InitialWindowSize uint32
+
+	// MaxFrameSize is the largest frame payload the endpoint accepts.
+	MaxFrameSize uint32
+
+	// MaxHeaderListSize advises a cap on decoded header lists. Zero
+	// means unset.
+	MaxHeaderListSize uint32
+}
+
+// DefaultSettings returns the initial values mandated by RFC 7540
+// section 6.5.2.
+func DefaultSettings() Settings {
+	return Settings{
+		HeaderTableSize:      4096,
+		EnablePush:           true,
+		MaxConcurrentStreams: 0,
+		InitialWindowSize:    DefaultInitialWindowSize,
+		MaxFrameSize:         DefaultMaxFrameSize,
+		MaxHeaderListSize:    0,
+	}
+}
+
+// Apply folds the parameters carried by f into s, returning the first
+// validation error encountered.
+func (s *Settings) Apply(f *SettingsFrame) error {
+	for _, st := range f.Settings {
+		if err := st.Valid(); err != nil {
+			return err
+		}
+		switch st.ID {
+		case SettingHeaderTableSize:
+			s.HeaderTableSize = st.Val
+		case SettingEnablePush:
+			s.EnablePush = st.Val == 1
+		case SettingMaxConcurrentStreams:
+			s.MaxConcurrentStreams = st.Val
+		case SettingInitialWindowSize:
+			s.InitialWindowSize = st.Val
+		case SettingMaxFrameSize:
+			s.MaxFrameSize = st.Val
+		case SettingMaxHeaderListSize:
+			s.MaxHeaderListSize = st.Val
+		}
+	}
+	return nil
+}
+
+// Diff returns the settings list that transforms DefaultSettings into
+// s, suitable for the first SETTINGS frame of a connection.
+func (s Settings) Diff() []Setting {
+	def := DefaultSettings()
+	var out []Setting
+	if s.HeaderTableSize != def.HeaderTableSize {
+		out = append(out, Setting{SettingHeaderTableSize, s.HeaderTableSize})
+	}
+	if s.EnablePush != def.EnablePush {
+		v := uint32(0)
+		if s.EnablePush {
+			v = 1
+		}
+		out = append(out, Setting{SettingEnablePush, v})
+	}
+	if s.MaxConcurrentStreams != def.MaxConcurrentStreams {
+		out = append(out, Setting{SettingMaxConcurrentStreams, s.MaxConcurrentStreams})
+	}
+	if s.InitialWindowSize != def.InitialWindowSize {
+		out = append(out, Setting{SettingInitialWindowSize, s.InitialWindowSize})
+	}
+	if s.MaxFrameSize != def.MaxFrameSize {
+		out = append(out, Setting{SettingMaxFrameSize, s.MaxFrameSize})
+	}
+	if s.MaxHeaderListSize != def.MaxHeaderListSize {
+		out = append(out, Setting{SettingMaxHeaderListSize, s.MaxHeaderListSize})
+	}
+	return out
+}

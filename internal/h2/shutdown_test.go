@@ -1,0 +1,129 @@
+package h2
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		_, _ = w.Write([]byte("finished")) //nolint:errcheck // test handler
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Handler: h}
+	go srv.Serve(ln) //nolint:errcheck // ends when listener closes
+
+	cl, err := Dial(ln.Addr().String(), ConnConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close() //nolint:errcheck // teardown
+
+	cs, err := cl.StartGet("example.test", "/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// Shut down while the request is in flight; release the handler
+	// shortly after so the drain can complete.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+
+	resp, err := cs.Response()
+	if err != nil {
+		t.Fatalf("in-flight request failed during graceful shutdown: %v", err)
+	}
+	if string(resp.Body) != "finished" {
+		t.Errorf("body = %q", resp.Body)
+	}
+}
+
+func TestGoAwayRejectsNewRequests(t *testing.T) {
+	release := make(chan struct{})
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		<-release
+		_, _ = w.Write([]byte("ok")) //nolint:errcheck // test handler
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Handler: h}
+	go srv.Serve(ln) //nolint:errcheck // ends when listener closes
+
+	cl, err := Dial(ln.Addr().String(), ConnConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close() //nolint:errcheck // teardown
+	cs, err := cl.StartGet("example.test", "/pending")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(5 * time.Second) }()
+
+	// Wait until the client has processed the GOAWAY, then new
+	// requests must be refused locally.
+	deadline := time.After(3 * time.Second)
+	for {
+		_, err := cl.StartGet("example.test", "/new")
+		if err != nil {
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("client kept accepting new requests after GOAWAY")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	close(release)
+	if _, err := cs.Response(); err != nil {
+		t.Fatalf("pre-GOAWAY request failed: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+func TestStreamsReapedAfterCompletion(t *testing.T) {
+	cl := testServer(t, echoPathHandler(), ConnConfig{}, ConnConfig{})
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Get("example.test", "/x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.conn.mu.Lock()
+	n := len(cl.conn.streams)
+	cl.conn.mu.Unlock()
+	if n != 0 {
+		t.Errorf("client retains %d dead streams", n)
+	}
+}

@@ -1,0 +1,173 @@
+package h2
+
+import "fmt"
+
+// StreamState is the RFC 7540 section 5.1 stream state.
+type StreamState uint8
+
+// Stream states. The enum starts at 1 so the zero value is invalid.
+const (
+	StateIdle StreamState = iota + 1
+	StateReservedLocal
+	StateReservedRemote
+	StateOpen
+	StateHalfClosedLocal
+	StateHalfClosedRemote
+	StateClosed
+)
+
+var streamStateNames = map[StreamState]string{
+	StateIdle:             "idle",
+	StateReservedLocal:    "reserved (local)",
+	StateReservedRemote:   "reserved (remote)",
+	StateOpen:             "open",
+	StateHalfClosedLocal:  "half-closed (local)",
+	StateHalfClosedRemote: "half-closed (remote)",
+	StateClosed:           "closed",
+}
+
+// String returns the RFC 7540 name of the state.
+func (s StreamState) String() string {
+	if n, ok := streamStateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("StreamState(%d)", uint8(s))
+}
+
+// StreamEvent is a transition-triggering event on a stream, from the
+// perspective of one endpoint.
+type StreamEvent uint8
+
+// Stream events. The enum starts at 1 so the zero value is invalid.
+const (
+	// EvSendHeaders: this endpoint sends HEADERS (without END_STREAM).
+	EvSendHeaders StreamEvent = iota + 1
+	// EvRecvHeaders: this endpoint receives HEADERS (without END_STREAM).
+	EvRecvHeaders
+	// EvSendEndStream: this endpoint sends a frame with END_STREAM.
+	EvSendEndStream
+	// EvRecvEndStream: this endpoint receives a frame with END_STREAM.
+	EvRecvEndStream
+	// EvSendRST: this endpoint sends RST_STREAM.
+	EvSendRST
+	// EvRecvRST: this endpoint receives RST_STREAM.
+	EvRecvRST
+	// EvSendPushPromise: this endpoint sends PUSH_PROMISE reserving the stream.
+	EvSendPushPromise
+	// EvRecvPushPromise: this endpoint receives PUSH_PROMISE reserving the stream.
+	EvRecvPushPromise
+)
+
+var streamEventNames = map[StreamEvent]string{
+	EvSendHeaders:     "send HEADERS",
+	EvRecvHeaders:     "recv HEADERS",
+	EvSendEndStream:   "send END_STREAM",
+	EvRecvEndStream:   "recv END_STREAM",
+	EvSendRST:         "send RST_STREAM",
+	EvRecvRST:         "recv RST_STREAM",
+	EvSendPushPromise: "send PUSH_PROMISE",
+	EvRecvPushPromise: "recv PUSH_PROMISE",
+}
+
+// String returns a human-readable event name.
+func (e StreamEvent) String() string {
+	if n, ok := streamEventNames[e]; ok {
+		return n
+	}
+	return fmt.Sprintf("StreamEvent(%d)", uint8(e))
+}
+
+// StreamStateMachine tracks one stream's lifecycle per RFC 7540
+// section 5.1 from the perspective of a single endpoint. The zero
+// value starts in the idle state.
+type StreamStateMachine struct {
+	state StreamState
+}
+
+// State returns the current state, mapping the zero value to idle.
+func (m *StreamStateMachine) State() StreamState {
+	if m.state == 0 {
+		return StateIdle
+	}
+	return m.state
+}
+
+// Transition applies ev and returns the new state, or an error if the
+// event is not legal in the current state. RST in either direction is
+// always accepted once the stream has left idle.
+func (m *StreamStateMachine) Transition(ev StreamEvent) (StreamState, error) {
+	cur := m.State()
+	next, err := nextStreamState(cur, ev)
+	if err != nil {
+		return cur, err
+	}
+	m.state = next
+	return next, nil
+}
+
+func nextStreamState(cur StreamState, ev StreamEvent) (StreamState, error) {
+	if ev == EvSendRST || ev == EvRecvRST {
+		if cur == StateIdle {
+			return 0, ConnectionError{Code: ErrCodeProtocol, Reason: "RST_STREAM on idle stream"}
+		}
+		return StateClosed, nil
+	}
+	switch cur {
+	case StateIdle:
+		switch ev {
+		case EvSendHeaders, EvRecvHeaders:
+			return StateOpen, nil
+		case EvSendEndStream:
+			// HEADERS+END_STREAM opens and immediately half-closes.
+			return StateHalfClosedLocal, nil
+		case EvRecvEndStream:
+			return StateHalfClosedRemote, nil
+		case EvSendPushPromise:
+			return StateReservedLocal, nil
+		case EvRecvPushPromise:
+			return StateReservedRemote, nil
+		}
+	case StateReservedLocal:
+		if ev == EvSendHeaders || ev == EvSendEndStream {
+			return StateHalfClosedRemote, nil
+		}
+	case StateReservedRemote:
+		if ev == EvRecvHeaders || ev == EvRecvEndStream {
+			return StateHalfClosedLocal, nil
+		}
+	case StateOpen:
+		switch ev {
+		case EvSendEndStream:
+			return StateHalfClosedLocal, nil
+		case EvRecvEndStream:
+			return StateHalfClosedRemote, nil
+		case EvSendHeaders, EvRecvHeaders:
+			// Trailers or repeated HEADERS keep the stream open.
+			return StateOpen, nil
+		}
+	case StateHalfClosedLocal:
+		switch ev {
+		case EvRecvEndStream:
+			return StateClosed, nil
+		case EvRecvHeaders:
+			return StateHalfClosedLocal, nil
+		}
+	case StateHalfClosedRemote:
+		switch ev {
+		case EvSendEndStream:
+			return StateClosed, nil
+		case EvSendHeaders:
+			return StateHalfClosedRemote, nil
+		}
+	case StateClosed:
+		return 0, StreamError{Code: ErrCodeStreamClosed, Reason: fmt.Sprintf("%v on closed stream", ev)}
+	}
+	return 0, ConnectionError{
+		Code:   ErrCodeProtocol,
+		Reason: fmt.Sprintf("illegal %v in state %v", ev, cur),
+	}
+}
+
+// ClientStreamID reports whether id is a client-initiated (odd)
+// stream id.
+func ClientStreamID(id uint32) bool { return id%2 == 1 }

@@ -1,0 +1,82 @@
+package h2
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestClientStreamRead(t *testing.T) {
+	body := bytes.Repeat([]byte("streaming-"), 2000)
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		w.SetHeader("content-type", "text/plain")
+		// Write in pieces so Read observes incremental arrival.
+		for off := 0; off < len(body); off += 4096 {
+			end := off + 4096
+			if end > len(body) {
+				end = len(body)
+			}
+			if _, err := w.Write(body[off:end]); err != nil {
+				return
+			}
+		}
+	})
+	cl := testServer(t, h, ConnConfig{}, ConnConfig{})
+	cs, err := cl.StartGet("example.test", "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdrs, err := cs.Headers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundCT := false
+	for _, f := range hdrs {
+		if f.Name == "content-type" && f.Value == "text/plain" {
+			foundCT = true
+		}
+	}
+	if !foundCT {
+		t.Errorf("headers = %v", hdrs)
+	}
+	got, err := io.ReadAll(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Errorf("streamed %d bytes, want %d", len(got), len(body))
+	}
+	// Subsequent reads keep returning EOF.
+	if _, err := cs.Read(make([]byte, 1)); err != io.EOF {
+		t.Errorf("post-EOF read = %v", err)
+	}
+}
+
+func TestClientStreamReadCancelled(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		if _, err := w.Write([]byte("partial")); err != nil {
+			return
+		}
+		close(started)
+		<-release
+	})
+	cl := testServer(t, h, ConnConfig{}, ConnConfig{})
+	cs, err := cl.StartGet("example.test", "/hang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// Drain the partial data, then cancel: Read must surface an error,
+	// not hang.
+	buf := make([]byte, 7)
+	if _, err := io.ReadFull(cs, buf); err != nil {
+		t.Fatal(err)
+	}
+	cs.Cancel()
+	close(release)
+	if _, err := cs.Read(make([]byte, 1)); err == nil || err == io.EOF {
+		t.Errorf("read after cancel = %v, want a stream error", err)
+	}
+}

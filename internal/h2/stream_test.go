@@ -1,0 +1,153 @@
+package h2
+
+import "testing"
+
+func TestStreamLifecycleRequestResponse(t *testing.T) {
+	// Client perspective: send request with END_STREAM, receive
+	// response ending with END_STREAM.
+	var m StreamStateMachine
+	if m.State() != StateIdle {
+		t.Fatalf("initial state = %v, want idle", m.State())
+	}
+	st, err := m.Transition(EvSendEndStream) // HEADERS+END_STREAM
+	if err != nil || st != StateHalfClosedLocal {
+		t.Fatalf("after request: %v, %v", st, err)
+	}
+	st, err = m.Transition(EvRecvHeaders)
+	if err != nil || st != StateHalfClosedLocal {
+		t.Fatalf("after response headers: %v, %v", st, err)
+	}
+	st, err = m.Transition(EvRecvEndStream)
+	if err != nil || st != StateClosed {
+		t.Fatalf("after response end: %v, %v", st, err)
+	}
+}
+
+func TestStreamLifecycleServerSide(t *testing.T) {
+	var m StreamStateMachine
+	if _, err := m.Transition(EvRecvEndStream); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != StateHalfClosedRemote {
+		t.Fatalf("state = %v, want half-closed (remote)", m.State())
+	}
+	if _, err := m.Transition(EvSendHeaders); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Transition(EvSendEndStream); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != StateClosed {
+		t.Fatalf("state = %v, want closed", m.State())
+	}
+}
+
+func TestStreamOpenThenHalfClose(t *testing.T) {
+	var m StreamStateMachine
+	mustState := func(ev StreamEvent, want StreamState) {
+		t.Helper()
+		st, err := m.Transition(ev)
+		if err != nil {
+			t.Fatalf("%v: %v", ev, err)
+		}
+		if st != want {
+			t.Fatalf("%v -> %v, want %v", ev, st, want)
+		}
+	}
+	mustState(EvSendHeaders, StateOpen)
+	mustState(EvSendHeaders, StateOpen) // trailers allowed
+	mustState(EvSendEndStream, StateHalfClosedLocal)
+	mustState(EvRecvEndStream, StateClosed)
+}
+
+func TestStreamRSTAlwaysCloses(t *testing.T) {
+	states := []StreamEvent{EvSendHeaders, EvRecvHeaders, EvSendPushPromise, EvRecvPushPromise}
+	for _, setup := range states {
+		var m StreamStateMachine
+		if _, err := m.Transition(setup); err != nil {
+			t.Fatalf("%v: %v", setup, err)
+		}
+		if st, err := m.Transition(EvRecvRST); err != nil || st != StateClosed {
+			t.Errorf("RST after %v: state %v err %v", setup, st, err)
+		}
+	}
+}
+
+func TestStreamRSTOnIdleIsError(t *testing.T) {
+	var m StreamStateMachine
+	if _, err := m.Transition(EvRecvRST); err == nil {
+		t.Error("RST on idle stream accepted, want connection error")
+	}
+}
+
+func TestStreamClosedRejectsTraffic(t *testing.T) {
+	var m StreamStateMachine
+	if _, err := m.Transition(EvSendRST); err == nil {
+		t.Fatal("want error on idle RST")
+	}
+	m = StreamStateMachine{}
+	mustOK := func(ev StreamEvent) {
+		t.Helper()
+		if _, err := m.Transition(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustOK(EvSendHeaders)
+	mustOK(EvSendRST)
+	if _, err := m.Transition(EvSendHeaders); err == nil {
+		t.Error("HEADERS on closed stream accepted, want stream error")
+	}
+}
+
+func TestStreamPushPromiseLifecycle(t *testing.T) {
+	// Server reserves a push stream, then sends the response.
+	var m StreamStateMachine
+	if _, err := m.Transition(EvSendPushPromise); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != StateReservedLocal {
+		t.Fatalf("state = %v, want reserved (local)", m.State())
+	}
+	if _, err := m.Transition(EvSendHeaders); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != StateHalfClosedRemote {
+		t.Fatalf("state = %v, want half-closed (remote)", m.State())
+	}
+}
+
+func TestStreamIllegalTransitions(t *testing.T) {
+	// Receiving HEADERS on a stream we reserved locally is illegal.
+	var m StreamStateMachine
+	if _, err := m.Transition(EvSendPushPromise); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Transition(EvRecvHeaders); err == nil {
+		t.Error("recv HEADERS in reserved (local) accepted, want error")
+	}
+}
+
+func TestClientStreamID(t *testing.T) {
+	if !ClientStreamID(1) || !ClientStreamID(7) {
+		t.Error("odd ids must be client-initiated")
+	}
+	if ClientStreamID(2) || ClientStreamID(0) {
+		t.Error("even ids must not be client-initiated")
+	}
+}
+
+func TestStateAndEventStrings(t *testing.T) {
+	for st := StateIdle; st <= StateClosed; st++ {
+		if st.String() == "" {
+			t.Errorf("state %d has empty name", st)
+		}
+	}
+	if StreamState(99).String() == "" || StreamEvent(99).String() == "" {
+		t.Error("unknown values must still render")
+	}
+	for ev := EvSendHeaders; ev <= EvRecvPushPromise; ev++ {
+		if ev.String() == "" {
+			t.Errorf("event %d has empty name", ev)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package h2sim
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/website"
+)
+
+// TestCalibrationBaseline prints the baseline statistics the paper's
+// Table I row 0 reports; run with -v to inspect.
+func TestCalibrationBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	clean, mux := 0, 0
+	var degSum float64
+	rerq, completed, broken := 0, 0, 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		site := website.Survey(website.IdentityPermutation())
+		sess := NewSession(site, SessionConfig{Seed: int64(5000 + i), RandomizeAmbient: true})
+		sess.Run()
+		if sess.Broken() {
+			broken++
+			continue
+		}
+		if sess.Client.AllScheduledComplete() {
+			completed++
+		}
+		rerq += sess.Client.Stats.ReRequests
+		copies := analysis.CopyTransmissions(sess.GroundTruth)
+		d := analysis.OriginalDegree(copies, website.ResultHTMLID)
+		if d == 0 {
+			clean++
+		} else if d > 0 {
+			mux++
+			degSum += d
+		}
+	}
+	t.Logf("baseline over %d trials: clean=%d (%.0f%%) mux=%d meanDeg=%.2f rerequests=%d completed=%d broken=%d",
+		trials, clean, 100*float64(clean)/trials, mux, degSum/float64(maxi(mux, 1)), rerq, completed, broken)
+}

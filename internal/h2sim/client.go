@@ -1,0 +1,583 @@
+package h2sim
+
+import (
+	"time"
+
+	"repro/internal/h2"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+	"repro/internal/tlsrec"
+	"repro/internal/website"
+)
+
+// ClientConfig tunes the browser model.
+type ClientConfig struct {
+	// StallBase is the floor of the per-stream stall timeout. Default
+	// 2s (a browser-scale response deadline; baseline loads must not
+	// trip it).
+	StallBase time.Duration
+
+	// StallRTTFactor scales the stall timeout with the transport's
+	// smoothed RTT: timeout = max(StallBase, factor*SRTT) * backoff.
+	// Throttled (queue-inflated) paths therefore re-request less —
+	// the mechanism behind the paper's Figure 5 retransmission
+	// decline. Default 6.
+	StallRTTFactor int
+
+	// MaxReRequests bounds duplicate requests per object. Default 3.
+	MaxReRequests int
+
+	// ResetAfterStalls is how many post-exhaustion stalls an object
+	// tolerates before the client resets every open stream (the
+	// paper's RST_STREAM response to a persistently lossy channel).
+	// Default 1.
+	ResetAfterStalls int
+
+	// ResetGrace is the pause between resetting and re-requesting,
+	// while the transport recovers and the stale backlog drains (the
+	// paper: after a reset "the client's TCP also waits for a longer
+	// time"). Default 1.5s.
+	ResetGrace time.Duration
+
+	// MaxResets caps reset rounds per page load. Default 4.
+	MaxResets int
+
+	// StallsForReset triggers a reset when this many stream stalls
+	// burst (within 2.5s of one another) without any object
+	// completing — the "highly lossy communication channel" signal of
+	// paper section IV-D. Default 6.
+	StallsForReset int
+
+	// RefetchWindow bounds outstanding post-reset refetches. Small
+	// windows keep the recovering connection near single-threaded (the
+	// paper's observation); large windows re-create the pre-reset
+	// interleaving (ablation). Default 2.
+	RefetchWindow int
+
+	// GapNoiseFrac randomizes schedule gaps by ±frac (client-side
+	// think-time noise). Default 0.15; negative disables.
+	GapNoiseFrac float64
+
+	// DisableReRequest turns off duplicate requests (ablation 2).
+	DisableReRequest bool
+
+	// DisableReset turns off the reset-streams policy (ablation 3).
+	DisableReset bool
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.StallBase == 0 {
+		c.StallBase = 2 * time.Second
+	}
+	if c.StallRTTFactor == 0 {
+		c.StallRTTFactor = 10
+	}
+	if c.MaxReRequests == 0 {
+		c.MaxReRequests = 3
+	}
+	if c.ResetAfterStalls == 0 {
+		c.ResetAfterStalls = 1
+	}
+	if c.ResetGrace == 0 {
+		c.ResetGrace = 3500 * time.Millisecond
+	}
+	if c.MaxResets == 0 {
+		c.MaxResets = 4
+	}
+	if c.StallsForReset == 0 {
+		c.StallsForReset = 6
+	}
+	if c.RefetchWindow == 0 {
+		c.RefetchWindow = 2
+	}
+	if c.GapNoiseFrac == 0 {
+		c.GapNoiseFrac = 0.15
+	}
+	return c
+}
+
+// ClientStats counts client-side events.
+type ClientStats struct {
+	Requests   int // all request HEADERS sent, including re-requests
+	ReRequests int // stall-triggered duplicates (the paper's
+	// "retransmission requests")
+	Resets    int // reset-all rounds
+	Completed int // distinct objects fully received
+}
+
+// RequestLog records one issued request for evaluation.
+type RequestLog struct {
+	Time     time.Duration
+	ObjectID int
+	CopyID   int
+	StreamID uint32
+	ReIssue  bool
+}
+
+type clientStream struct {
+	id       uint32
+	objectID int
+	copyID   int
+	received int
+	done     bool
+	closed   bool // locally reset
+	stall    *sim.Timer
+	rearms   int
+
+	// reqStart/reqEnd bound the request record's bytes in the client's
+	// outbound TCP stream; reRequested marks that a transport
+	// retransmission of those bytes already triggered a duplicate.
+	reqStart, reqEnd uint32
+	reRequested      bool
+}
+
+type objState struct {
+	obj             website.Object
+	requested       bool
+	complete        bool
+	completedAt     time.Duration
+	reRequests      int
+	exhaustedStalls int
+	pushed          bool // a server push for this object is in flight or done
+}
+
+// Client is the simulated browser: it issues the site's request
+// schedule, re-requests stalled objects, and resets streams on a
+// persistently failing channel.
+type Client struct {
+	s    *sim.Simulator
+	cfg  ClientConfig
+	site *website.Site
+	tcp  *tcpsim.Endpoint
+
+	opener  tlsrec.Opener
+	sealer  tlsrec.Sealer
+	scanner h2.FrameScanner
+	hdec    *h2.HpackDecoder
+	henc    *h2.HpackEncoder
+
+	streams      map[uint32]*clientStream
+	objects      map[int]*objState
+	nextStreamID uint32
+	copyCounter  map[int]int
+	stallMult    time.Duration
+	bytesOut     uint32        // bytes written to the transport so far
+	dryStalls    int           // stalls since the last completion, within a burst
+	lastStall    time.Duration // time of the most recent stall
+	refetchQ     []int         // post-reset refetch queue (object IDs)
+	refetchOut   int           // outstanding refetches from the queue
+
+	// Stats accumulates counters; Requests lists every issued request.
+	Stats    ClientStats
+	Requests []RequestLog
+
+	// OnComplete, when non-nil, fires once per completed object.
+	OnComplete func(objectID int)
+}
+
+// NewClient builds the client for a site. Call Attach then Start.
+func NewClient(s *sim.Simulator, cfg ClientConfig, site *website.Site) *Client {
+	c := &Client{
+		s:            s,
+		cfg:          cfg.withDefaults(),
+		site:         site,
+		hdec:         h2.NewHpackDecoder(4096),
+		henc:         h2.NewHpackEncoder(4096),
+		streams:      make(map[uint32]*clientStream),
+		objects:      make(map[int]*objState),
+		nextStreamID: 1,
+		copyCounter:  make(map[int]int),
+		stallMult:    1,
+	}
+	for _, o := range site.Objects {
+		o := o
+		c.objects[o.ID] = &objState{obj: o}
+	}
+	return c
+}
+
+// Attach wires the client to its TCP endpoint and announces SETTINGS.
+func (c *Client) Attach(tcp *tcpsim.Endpoint) {
+	c.tcp = tcp
+	settings := h2.MarshalFrame(&h2.SettingsFrame{Settings: []h2.Setting{
+		{ID: h2.SettingInitialWindowSize, Val: 1 << 30},
+	}})
+	c.writeRecord(settings)
+}
+
+func (c *Client) writeRecord(plaintext []byte) (start, end uint32) {
+	rec := c.sealer.Seal(nil, tlsrec.TypeAppData, plaintext)
+	start = c.bytesOut
+	c.bytesOut += uint32(len(rec))
+	c.tcp.Write(rec)
+	return start, c.bytesOut
+}
+
+// Start schedules the site's request sequence from the current
+// simulation time.
+func (c *Client) Start() {
+	at := time.Duration(0)
+	for i, spec := range c.site.Schedule {
+		gap := spec.Gap
+		if c.cfg.GapNoiseFrac > 0 && gap > 0 {
+			f := 1 + c.cfg.GapNoiseFrac*(2*c.s.Rand().Float64()-1)
+			gap = time.Duration(float64(gap) * f)
+		}
+		at += gap
+		objID := spec.ObjectID
+		_ = i
+		c.s.After(at, func() { c.issue(objID, false) })
+	}
+}
+
+// issue sends one GET for the object; reissue marks stall-triggered
+// duplicates and post-reset retries.
+func (c *Client) issue(objectID int, reissue bool) {
+	if c.tcp.Broken() {
+		return
+	}
+	os := c.objects[objectID]
+	if os == nil || os.complete {
+		return
+	}
+	if os.pushed && !reissue {
+		// A matching server push is in flight: the browser does not
+		// re-request pushed resources.
+		return
+	}
+	os.requested = true
+	id := c.nextStreamID
+	c.nextStreamID += 2
+	copyID := c.copyCounter[objectID]
+	c.copyCounter[objectID]++
+
+	block := c.henc.AppendHeaderBlock(nil, []h2.HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":authority", Value: "www.isidewith.test"},
+		{Name: ":path", Value: os.obj.Path},
+	})
+	frame := h2.MarshalFrame(&h2.HeadersFrame{
+		StreamID:      id,
+		BlockFragment: block,
+		EndHeaders:    true,
+		EndStream:     true,
+	})
+	reqStart, reqEnd := c.writeRecord(frame)
+	c.Stats.Requests++
+	c.Requests = append(c.Requests, RequestLog{
+		Time: c.s.Now(), ObjectID: objectID, CopyID: copyID, StreamID: id, ReIssue: reissue,
+	})
+
+	st := &clientStream{id: id, objectID: objectID, copyID: copyID, reqStart: reqStart, reqEnd: reqEnd}
+	st.stall = c.s.NewTimer(func() { c.onStall(st) })
+	st.stall.Reset(c.stallTimeout())
+	c.streams[id] = st
+}
+
+// stallTimeout derives the adaptive stall deadline.
+func (c *Client) stallTimeout() time.Duration {
+	d := time.Duration(c.cfg.StallRTTFactor) * c.tcp.SRTT()
+	if d < c.cfg.StallBase {
+		d = c.cfg.StallBase
+	}
+	return d * c.stallMult
+}
+
+// OnTCPRetransmit reacts to the transport retransmitting client
+// bytes: when the retransmitted range covers a pending request, the
+// client re-issues that request on a fresh stream — the browser
+// behaviour the paper describes as "TCP fast-retransmits for the same
+// object" that makes the server spawn duplicate workers.
+func (c *Client) OnTCPRetransmit(seqStart, seqEnd uint32) {
+	if c.cfg.DisableReRequest {
+		return
+	}
+	for _, st := range c.streams {
+		if st.reRequested || st.done || st.closed {
+			continue
+		}
+		if st.reqStart >= seqEnd || st.reqEnd <= seqStart {
+			continue
+		}
+		os := c.objects[st.objectID]
+		if os == nil || os.complete || os.reRequests >= c.cfg.MaxReRequests {
+			continue
+		}
+		st.reRequested = true
+		os.reRequests++
+		c.Stats.ReRequests++
+		c.issue(st.objectID, true)
+	}
+}
+
+// OnBytes is the TCP delivery callback.
+func (c *Client) OnBytes(b []byte) {
+	recs, err := c.opener.Feed(b)
+	if err != nil {
+		return
+	}
+	for _, r := range recs {
+		if r.ContentType != tlsrec.TypeAppData {
+			continue
+		}
+		frames, err := c.scanner.Feed(r.Body)
+		if err != nil {
+			continue
+		}
+		for _, f := range frames {
+			c.handleFrame(f)
+		}
+	}
+}
+
+func (c *Client) handleFrame(f h2.Frame) {
+	switch fv := f.(type) {
+	case *h2.HeadersFrame:
+		st := c.streams[fv.StreamID]
+		if st == nil || st.closed {
+			return
+		}
+		if fv.EndStream {
+			// Empty response (404 or deduplicated copy): the stream
+			// ends without completing the object.
+			c.finishStream(st)
+			return
+		}
+		st.stall.Reset(c.stallTimeout())
+	case *h2.DataFrame:
+		st := c.streams[fv.StreamID]
+		if st == nil || st.closed {
+			return
+		}
+		st.received += len(fv.Data)
+		st.stall.Reset(c.stallTimeout())
+		if fv.EndStream {
+			c.finishStream(st)
+		}
+	case *h2.SettingsFrame:
+		if !fv.Ack {
+			c.writeRecord(h2.MarshalFrame(&h2.SettingsFrame{Ack: true}))
+		}
+	case *h2.RSTStreamFrame:
+		if st := c.streams[fv.StreamID]; st != nil {
+			c.closeStream(st)
+		}
+	case *h2.PushPromiseFrame:
+		c.handlePushPromise(fv)
+	default:
+	}
+}
+
+// handlePushPromise registers a server-initiated stream: the pushed
+// response will arrive on PromiseID, and the client will not request
+// the resource itself.
+func (c *Client) handlePushPromise(f *h2.PushPromiseFrame) {
+	fields, err := c.hdec.DecodeFull(f.BlockFragment)
+	if err != nil {
+		return
+	}
+	var path string
+	for _, hf := range fields {
+		if hf.Name == ":path" {
+			path = hf.Value
+		}
+	}
+	obj, ok := c.site.ObjectByPath(path)
+	if !ok {
+		return
+	}
+	os := c.objects[obj.ID]
+	if os == nil || os.complete {
+		return
+	}
+	os.pushed = true
+	st := &clientStream{id: f.PromiseID, objectID: obj.ID, copyID: c.copyCounter[obj.ID]}
+	c.copyCounter[obj.ID]++
+	st.stall = c.s.NewTimer(func() { c.onStall(st) })
+	st.stall.Reset(c.stallTimeout())
+	c.streams[f.PromiseID] = st
+}
+
+// finishStream handles END_STREAM on a live stream.
+func (c *Client) finishStream(st *clientStream) {
+	st.done = true
+	st.stall.Stop()
+	delete(c.streams, st.id)
+	os := c.objects[st.objectID]
+	if os == nil || os.complete {
+		return
+	}
+	if st.received >= os.obj.Size {
+		os.complete = true
+		os.completedAt = c.s.Now()
+		c.Stats.Completed++
+		c.dryStalls = 0 // completions are the liveness signal
+		if c.refetchOut > 0 {
+			c.refetchOut--
+			c.pumpRefetch()
+		}
+		// Quiesce sibling copies' timers: the object is done.
+		for _, other := range c.streams {
+			if other.objectID == st.objectID {
+				other.stall.Stop()
+			}
+		}
+		if c.OnComplete != nil {
+			c.OnComplete(st.objectID)
+		}
+	}
+}
+
+func (c *Client) closeStream(st *clientStream) {
+	st.closed = true
+	st.stall.Stop()
+	delete(c.streams, st.id)
+}
+
+// onStall handles a stream whose response made no progress within the
+// stall timeout: the client re-requests the object ("fast-retransmit"
+// behaviour the paper describes), and on persistent failure resets
+// every open stream.
+func (c *Client) onStall(st *clientStream) {
+	if st.closed || st.done || c.tcp.Broken() {
+		return
+	}
+	st.rearms++
+	if st.rearms > 12 {
+		return // give up on this stream; bounds simulation work
+	}
+	os := c.objects[st.objectID]
+	if os == nil || os.complete {
+		return
+	}
+	// A lossy channel shows up as a burst of stalls with nothing
+	// completing; isolated stalls on a merely slow page do not count.
+	if c.s.Now()-c.lastStall > 2500*time.Millisecond {
+		c.dryStalls = 0
+	}
+	c.lastStall = c.s.Now()
+	c.dryStalls++
+	if !c.cfg.DisableReset && c.dryStalls >= c.cfg.StallsForReset && c.Stats.Resets < c.cfg.MaxResets {
+		c.resetAll()
+		return
+	}
+	if !c.cfg.DisableReRequest && os.reRequests < c.cfg.MaxReRequests {
+		os.reRequests++
+		c.Stats.ReRequests++
+		c.issue(st.objectID, true)
+		st.stall.Reset(2 * c.stallTimeout())
+		return
+	}
+	os.exhaustedStalls++
+	if !c.cfg.DisableReset && os.exhaustedStalls >= c.cfg.ResetAfterStalls && c.Stats.Resets < c.cfg.MaxResets {
+		c.resetAll()
+		return
+	}
+	st.stall.Reset(2 * c.stallTimeout())
+}
+
+// resetAll sends RST_STREAM for every open stream in one record,
+// backs off the transport, and re-requests incomplete objects after a
+// grace period — the paper's section IV-D client behaviour.
+func (c *Client) resetAll() {
+	c.Stats.Resets++
+	var frames []byte
+	var open []*clientStream
+	for _, st := range c.streams {
+		open = append(open, st)
+	}
+	for _, st := range open {
+		frames = h2.AppendFrame(frames, &h2.RSTStreamFrame{
+			StreamID: st.id, Code: h2.ErrCodeCancel,
+		})
+		c.closeStream(st)
+	}
+	if len(frames) > 0 {
+		c.writeRecord(frames)
+	}
+	// The client's TCP stack raises its retransmission timeout in
+	// response to the lossy channel (paper: "The client's TCP also
+	// waits for a longer time before attempting to send
+	// fast-retransmission requests").
+	c.tcp.BackoffRTO(2)
+	c.stallMult *= 2
+	c.dryStalls = 0
+	// Wait out the channel: at least ResetGrace, and longer on
+	// long-RTT paths where the server's backed-off retransmission
+	// timer takes proportionally longer to recover.
+	grace := c.cfg.ResetGrace
+	if byRTT := 14 * c.tcp.SRTT(); byRTT > grace {
+		grace = byRTT
+	}
+	c.s.After(grace, func() {
+		// Re-request pending objects in priority order: documents
+		// first, then the rest in schedule order (the paper: "the
+		// client resends GET requests if a high priority object is
+		// not yet received" — and only then the rest).
+		var docs, rest []int
+		for _, spec := range c.site.Schedule {
+			os := c.objects[spec.ObjectID]
+			if os == nil || !os.requested || os.complete {
+				continue
+			}
+			if os.obj.Kind == website.KindHTML {
+				docs = append(docs, spec.ObjectID)
+			} else {
+				rest = append(rest, spec.ObjectID)
+			}
+		}
+		// Refetch conservatively: a small window of outstanding
+		// refetches, paced by completions, so the recovering
+		// connection serves them near-serially (the single-threaded
+		// mode the paper observes after a reset).
+		c.refetchQ = append(docs, rest...)
+		c.refetchOut = 0
+		c.pumpRefetch()
+	})
+}
+
+// pumpRefetch issues queued refetches up to the window.
+func (c *Client) pumpRefetch() {
+	for c.refetchOut < c.cfg.RefetchWindow && len(c.refetchQ) > 0 {
+		id := c.refetchQ[0]
+		c.refetchQ = c.refetchQ[1:]
+		os := c.objects[id]
+		if os == nil || os.complete {
+			continue
+		}
+		os.reRequests = 0
+		os.exhaustedStalls = 0
+		c.refetchOut++
+		c.issue(id, true)
+	}
+}
+
+// Complete reports whether the object has been fully received.
+func (c *Client) Complete(objectID int) bool {
+	os := c.objects[objectID]
+	return os != nil && os.complete
+}
+
+// CompletedAt returns when the object finished (zero if incomplete).
+func (c *Client) CompletedAt(objectID int) time.Duration {
+	os := c.objects[objectID]
+	if os == nil {
+		return 0
+	}
+	return os.completedAt
+}
+
+// AllScheduledComplete reports whether every object in the schedule
+// has been fully received.
+func (c *Client) AllScheduledComplete() bool {
+	for _, spec := range c.site.Schedule {
+		if !c.Complete(spec.ObjectID) {
+			return false
+		}
+	}
+	return true
+}
+
+// OpenStreams reports in-flight request count.
+func (c *Client) OpenStreams() int { return len(c.streams) }

@@ -1,0 +1,399 @@
+// Package h2sim provides event-driven HTTP/2 endpoints over the
+// simulated TCP/TLS stack: a multi-threaded server model whose
+// concurrent per-request workers interleave object segments on the
+// shared transmit queue (the multiplexing the paper studies), and a
+// browser-like client that issues a scheduled request sequence,
+// re-requests stalled objects (the paper's "TCP fast-retransmit"
+// behaviour at the application layer), and resets all streams on a
+// persistently lossy channel (the paper's RST_STREAM lever).
+//
+// The bytes on the simulated wire are genuine RFC 7540 frames with
+// genuine HPACK header blocks, sealed into TLS records and segmented
+// by the TCP simulation — so the adversary observes exactly what a
+// real on-path device would.
+package h2sim
+
+import (
+	"time"
+
+	"repro/internal/h2"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+	"repro/internal/tlsrec"
+	"repro/internal/trace"
+	"repro/internal/website"
+)
+
+// ServerConfig tunes the server model.
+type ServerConfig struct {
+	// ChunkPlain is the DATA payload per frame/record; sized so one
+	// record fits one TCP segment. Default 1400.
+	ChunkPlain int
+
+	// ServiceTime is the per-chunk processing time of a worker thread
+	// (disk read + TLS sealing). Concurrency of workers over this
+	// interval is what interleaves objects. Default 500µs.
+	ServiceTime time.Duration
+
+	// ServiceJitter adds uniform [0, ServiceJitter) noise per chunk.
+	// Default 200µs.
+	ServiceJitter time.Duration
+
+	// HeaderDelay is the request-processing latency before the
+	// response HEADERS frame. Default 300µs.
+	HeaderDelay time.Duration
+
+	// SendBufLimit is the socket-buffer backpressure threshold: a
+	// worker pauses while the TCP send buffer holds at least this many
+	// bytes, so the enqueue (interleaving) order tracks the wire pace.
+	// This is what lets slow-start over a long-RTT path stretch early
+	// object transmissions across later requests — the baseline
+	// multiplexing source. Default 24 KiB.
+	SendBufLimit int
+
+	// DisableDuplicates suppresses the paper-observed behaviour of
+	// serving every copy of a retransmitted request (ablation 2 in
+	// DESIGN.md). Default false: duplicates are served.
+	DisableDuplicates bool
+
+	// DisableBackpressure makes workers enqueue at pure service rate
+	// regardless of the socket buffer (ablation 1: wire-driven-only
+	// multiplexing collapses).
+	DisableBackpressure bool
+
+	// Push maps a request path to resource paths the server pushes
+	// (PUSH_PROMISE) when that path is requested — the paper's
+	// section VII proposal of using server push for privacy: pushed
+	// resources are sent in the server's fixed order, so the request
+	// sequence carries no secret.
+	Push map[string][]string
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.ChunkPlain == 0 {
+		c.ChunkPlain = 1400
+	}
+	if c.ServiceTime == 0 {
+		c.ServiceTime = 500 * time.Microsecond
+	}
+	if c.ServiceJitter == 0 {
+		c.ServiceJitter = 200 * time.Microsecond
+	}
+	if c.HeaderDelay == 0 {
+		c.HeaderDelay = 300 * time.Microsecond
+	}
+	if c.SendBufLimit == 0 {
+		c.SendBufLimit = 56 << 10
+	}
+	return c
+}
+
+// ServerStats counts server-side events.
+type ServerStats struct {
+	Requests   int // request HEADERS received (including duplicates)
+	Duplicates int // requests beyond the first for the same object
+	Resets     int // RST_STREAM frames received
+	DataFrames int
+	BytesData  int64
+}
+
+// Server is the simulated multi-threaded HTTP/2 origin.
+type Server struct {
+	s    *sim.Simulator
+	cfg  ServerConfig
+	site *website.Site
+	tcp  *tcpsim.Endpoint
+
+	opener  tlsrec.Opener
+	sealer  tlsrec.Sealer
+	scanner h2.FrameScanner
+	hdec    *h2.HpackDecoder
+	henc    *h2.HpackEncoder
+
+	// GroundTruth receives FrameEvents attributing wire bytes to
+	// object copies; may be nil.
+	GroundTruth *trace.Trace
+
+	offset        int64 // bytes written to the TCP stream so far
+	workers       map[uint32]*worker
+	copies        map[int]int // objectID -> copies spawned
+	nextPushID    uint32      // next server-initiated (even) stream id
+	pushedAlready map[string]bool
+
+	// Stats accumulates counters.
+	Stats ServerStats
+}
+
+// NewServer builds the server for a site. Call Attach before running.
+func NewServer(s *sim.Simulator, cfg ServerConfig, site *website.Site) *Server {
+	return &Server{
+		s:             s,
+		cfg:           cfg.withDefaults(),
+		site:          site,
+		hdec:          h2.NewHpackDecoder(4096),
+		henc:          h2.NewHpackEncoder(4096),
+		workers:       make(map[uint32]*worker),
+		copies:        make(map[int]int),
+		nextPushID:    2,
+		pushedAlready: make(map[string]bool),
+	}
+}
+
+// Attach wires the server to its TCP endpoint and announces SETTINGS.
+func (sv *Server) Attach(tcp *tcpsim.Endpoint) {
+	sv.tcp = tcp
+	settings := h2.MarshalFrame(&h2.SettingsFrame{Settings: []h2.Setting{
+		{ID: h2.SettingInitialWindowSize, Val: 1 << 30},
+		{ID: h2.SettingMaxConcurrentStreams, Val: 256},
+	}})
+	sv.writeRecord(tlsrec.TypeAppData, settings)
+}
+
+// writeRecord seals plaintext into one record and writes it to TCP,
+// returning the record's wire offset and length.
+func (sv *Server) writeRecord(contentType uint8, plaintext []byte) (int64, int) {
+	rec := sv.sealer.Seal(nil, contentType, plaintext)
+	off := sv.offset
+	sv.offset += int64(len(rec))
+	sv.tcp.Write(rec)
+	return off, len(rec)
+}
+
+// OnBytes is the TCP delivery callback (ordered inbound byte stream).
+func (sv *Server) OnBytes(b []byte) {
+	recs, err := sv.opener.Feed(b)
+	if err != nil {
+		return // corrupted stream: drop silently, TCP sim shouldn't produce this
+	}
+	for _, r := range recs {
+		if r.ContentType != tlsrec.TypeAppData {
+			continue
+		}
+		frames, err := sv.scanner.Feed(r.Body)
+		if err != nil {
+			continue
+		}
+		for _, f := range frames {
+			sv.handleFrame(f)
+		}
+	}
+}
+
+func (sv *Server) handleFrame(f h2.Frame) {
+	switch fv := f.(type) {
+	case *h2.HeadersFrame:
+		sv.handleRequest(fv)
+	case *h2.RSTStreamFrame:
+		sv.Stats.Resets++
+		if w, ok := sv.workers[fv.StreamID]; ok {
+			// Flush the stream: the worker stops enqueueing segments
+			// (paper section IV-D: "the server closes the stream and
+			// flushes the corresponding object segments from its
+			// queue").
+			w.cancelled = true
+			delete(sv.workers, fv.StreamID)
+		}
+	case *h2.SettingsFrame:
+		if !fv.Ack {
+			sv.writeRecord(tlsrec.TypeAppData, h2.MarshalFrame(&h2.SettingsFrame{Ack: true}))
+		}
+	default:
+		// PING/WINDOW_UPDATE/PRIORITY are irrelevant to the model.
+	}
+}
+
+// handleRequest spawns a worker thread for the requested object.
+// Every received request copy gets its own worker, including
+// duplicates from client re-requests — the multi-threaded behaviour
+// the paper observed causing intensified multiplexing.
+func (sv *Server) handleRequest(f *h2.HeadersFrame) {
+	fields, err := sv.hdec.DecodeFull(f.BlockFragment)
+	if err != nil {
+		return
+	}
+	var path string
+	for _, hf := range fields {
+		if hf.Name == ":path" {
+			path = hf.Value
+		}
+	}
+	obj, ok := sv.site.ObjectByPath(path)
+	if !ok {
+		sv.respondNotFound(f.StreamID)
+		return
+	}
+	sv.Stats.Requests++
+	copyID := sv.copies[obj.ID]
+	sv.copies[obj.ID]++
+	if copyID > 0 {
+		sv.Stats.Duplicates++
+		if sv.cfg.DisableDuplicates {
+			// Ablation: a deduplicating server answers duplicates with
+			// an empty 200 instead of re-serving the body.
+			sv.respondEmpty(f.StreamID)
+			return
+		}
+	}
+	w := &worker{sv: sv, streamID: f.StreamID, obj: obj, copyID: copyID}
+	sv.workers[f.StreamID] = w
+	sv.s.After(sv.cfg.HeaderDelay, w.sendHeaders)
+	sv.pushFor(obj.Path, f.StreamID)
+}
+
+// pushFor initiates any configured server pushes for the requested
+// path: a PUSH_PROMISE on the requesting stream, then the pushed
+// response on a server-initiated (even) stream.
+func (sv *Server) pushFor(path string, parentStream uint32) {
+	for _, pushPath := range sv.cfg.Push[path] {
+		if sv.pushedAlready[pushPath] {
+			continue
+		}
+		obj, ok := sv.site.ObjectByPath(pushPath)
+		if !ok {
+			continue
+		}
+		sv.pushedAlready[pushPath] = true
+		promiseID := sv.nextPushID
+		sv.nextPushID += 2
+		block := sv.henc.AppendHeaderBlock(nil, []h2.HeaderField{
+			{Name: ":method", Value: "GET"},
+			{Name: ":scheme", Value: "https"},
+			{Name: ":path", Value: pushPath},
+		})
+		frame := h2.MarshalFrame(&h2.PushPromiseFrame{
+			StreamID:      parentStream,
+			PromiseID:     promiseID,
+			BlockFragment: block,
+			EndHeaders:    true,
+		})
+		sv.writeRecord(tlsrec.TypeAppData, frame)
+		copyID := sv.copies[obj.ID]
+		sv.copies[obj.ID]++
+		w := &worker{sv: sv, streamID: promiseID, obj: obj, copyID: copyID}
+		sv.workers[promiseID] = w
+		sv.s.After(sv.cfg.HeaderDelay, w.sendHeaders)
+	}
+}
+
+func (sv *Server) respondNotFound(streamID uint32) {
+	block := sv.henc.AppendHeaderBlock(nil, []h2.HeaderField{{Name: ":status", Value: "404"}})
+	frame := h2.MarshalFrame(&h2.HeadersFrame{
+		StreamID: streamID, BlockFragment: block, EndHeaders: true, EndStream: true,
+	})
+	sv.writeRecord(tlsrec.TypeAppData, frame)
+}
+
+func (sv *Server) respondEmpty(streamID uint32) {
+	block := sv.henc.AppendHeaderBlock(nil, []h2.HeaderField{{Name: ":status", Value: "200"}})
+	frame := h2.MarshalFrame(&h2.HeadersFrame{
+		StreamID: streamID, BlockFragment: block, EndHeaders: true, EndStream: true,
+	})
+	sv.writeRecord(tlsrec.TypeAppData, frame)
+}
+
+// serviceInterval draws one per-chunk service time.
+func (sv *Server) serviceInterval() time.Duration {
+	d := sv.cfg.ServiceTime
+	if sv.cfg.ServiceJitter > 0 {
+		d += time.Duration(sv.s.Rand().Int63n(int64(sv.cfg.ServiceJitter)))
+	}
+	return d
+}
+
+// worker is one server "thread" streaming one object copy.
+type worker struct {
+	sv        *Server
+	streamID  uint32
+	obj       website.Object
+	copyID    int
+	sent      int
+	cancelled bool
+}
+
+// sendHeaders emits the response HEADERS record and schedules the
+// first data chunk.
+func (w *worker) sendHeaders() {
+	if w.cancelled {
+		return
+	}
+	sv := w.sv
+	block := sv.henc.AppendHeaderBlock(nil, []h2.HeaderField{
+		{Name: ":status", Value: "200"},
+		{Name: "content-type", Value: "application/octet-stream"},
+	})
+	frame := h2.MarshalFrame(&h2.HeadersFrame{
+		StreamID:      w.streamID,
+		BlockFragment: block,
+		EndHeaders:    true,
+	})
+	off, n := sv.writeRecord(tlsrec.TypeAppData, frame)
+	if sv.GroundTruth != nil {
+		sv.GroundTruth.AddFrame(trace.FrameEvent{
+			Time:     sv.s.Now(),
+			StreamID: w.streamID,
+			ObjectID: w.obj.ID,
+			CopyID:   w.copyID,
+			Len:      0, // HEADERS marker
+			Offset:   off,
+			WireLen:  n,
+		})
+	}
+	sv.s.After(sv.serviceInterval(), w.step)
+}
+
+// step enqueues one data chunk and reschedules until the object is
+// fully transmitted.
+func (w *worker) step() {
+	if w.cancelled {
+		return
+	}
+	sv := w.sv
+	if !sv.cfg.DisableBackpressure && sv.tcp.BufferedSend() >= sv.cfg.SendBufLimit {
+		// Socket buffer full: wait for the wire to drain before
+		// producing the next chunk. Poll no faster than 10ms so a
+		// stalled transport (e.g. during the attack's drop phase) does
+		// not turn blocked workers into an event storm.
+		retry := sv.serviceInterval()
+		if retry < 10*time.Millisecond {
+			retry = 10 * time.Millisecond
+		}
+		sv.s.After(retry, w.step)
+		return
+	}
+	n := sv.cfg.ChunkPlain
+	if rem := w.obj.Size - w.sent; n > rem {
+		n = rem
+	}
+	end := w.sent+n == w.obj.Size
+	// Synthetic body bytes; content is irrelevant, size is the
+	// side-channel.
+	frame := h2.MarshalFrame(&h2.DataFrame{
+		StreamID:  w.streamID,
+		Data:      make([]byte, n),
+		EndStream: end,
+	})
+	off, wlen := sv.writeRecord(tlsrec.TypeAppData, frame)
+	w.sent += n
+	sv.Stats.DataFrames++
+	sv.Stats.BytesData += int64(n)
+	if sv.GroundTruth != nil {
+		sv.GroundTruth.AddFrame(trace.FrameEvent{
+			Time:     sv.s.Now(),
+			StreamID: w.streamID,
+			ObjectID: w.obj.ID,
+			CopyID:   w.copyID,
+			Len:      n,
+			Offset:   off,
+			WireLen:  wlen,
+			End:      end,
+		})
+	}
+	if end {
+		delete(sv.workers, w.streamID)
+		return
+	}
+	sv.s.After(sv.serviceInterval(), w.step)
+}
+
+// ActiveWorkers reports how many object transmissions are in flight.
+func (sv *Server) ActiveWorkers() int { return len(sv.workers) }

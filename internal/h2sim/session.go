@@ -1,0 +1,167 @@
+package h2sim
+
+import (
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+	"repro/internal/trace"
+	"repro/internal/website"
+)
+
+// SessionConfig assembles one simulated page load.
+type SessionConfig struct {
+	// Seed drives all randomness in the trial.
+	Seed int64
+
+	// Path is the ambient network configuration. The zero value uses
+	// DefaultPath.
+	Path netem.PathConfig
+
+	// TCP tunes both transport endpoints.
+	TCP tcpsim.Config
+
+	// Server and Client tune the HTTP/2 endpoints.
+	Server ServerConfig
+	Client ClientConfig
+
+	// TimeLimit bounds the simulated wall clock. Default 120s.
+	TimeLimit time.Duration
+
+	// DrainTime lets in-flight transmissions settle after the page
+	// completes, so ground truth captures trailing duplicates.
+	// Default 2s.
+	DrainTime time.Duration
+
+	// RandomizeAmbient perturbs the default path per trial (RTT and
+	// jitter drawn from the seed), modelling the day-to-day network
+	// variation across the paper's ~500 volunteer sessions. Only
+	// applies when Path is left at the default.
+	RandomizeAmbient bool
+}
+
+// DefaultPath models the paper's setup: a short first hop from the
+// client to the lab gateway (the compromised middlebox) and a
+// long-RTT Internet path to the origin. The ~100ms RTT is what makes
+// the early large objects' slow-start transfers span later requests —
+// the source of the baseline multiplexing.
+func DefaultPath() netem.PathConfig {
+	return netem.PathConfig{
+		ClientSide: netem.LinkConfig{
+			RateBitsPerSec: 1_000_000_000,
+			PropDelay:      2 * time.Millisecond,
+			Jitter:         netem.UniformJitter(800 * time.Microsecond),
+			Loss:           0.0005,
+		},
+		ServerSide: netem.LinkConfig{
+			RateBitsPerSec: 1_000_000_000,
+			PropDelay:      46 * time.Millisecond,
+			Jitter:         netem.UniformJitter(3 * time.Millisecond),
+			Loss:           0.002,
+		},
+	}
+}
+
+func (c SessionConfig) withDefaults() SessionConfig {
+	unset := func(lc netem.LinkConfig) bool {
+		return lc.RateBitsPerSec == 0 && lc.PropDelay == 0 && lc.Jitter == nil &&
+			lc.Loss == 0 && lc.MaxQueueDelay == 0
+	}
+	if unset(c.Path.ClientSide) && unset(c.Path.ServerSide) {
+		c.Path = DefaultPath()
+	}
+	if c.TimeLimit == 0 {
+		c.TimeLimit = 120 * time.Second
+	}
+	if c.DrainTime == 0 {
+		c.DrainTime = 2 * time.Second
+	}
+	return c
+}
+
+// Session is one assembled trial: simulator, network path with
+// middlebox, TCP connection, HTTP/2 endpoints, and traces.
+type Session struct {
+	Sim    *sim.Simulator
+	Conn   *tcpsim.Conn
+	Server *Server
+	Client *Client
+	Site   *website.Site
+
+	// Capture is the middlebox's packet/record observation trace (the
+	// adversary's view). GroundTruth is the server's frame
+	// attribution trace (the evaluator's view).
+	Capture     *trace.Trace
+	GroundTruth *trace.Trace
+
+	cfg SessionConfig
+}
+
+// NewSession wires up a trial for the given site.
+func NewSession(site *website.Site, cfg SessionConfig) *Session {
+	cfg = cfg.withDefaults()
+	s := sim.New(cfg.Seed)
+	s.MaxSteps = 50_000_000
+
+	if cfg.RandomizeAmbient {
+		rng := s.Rand()
+		// Server-side one-way delay 30-62ms (path RTT ~64-132ms),
+		// client-side 1-4ms.
+		cfg.Path.ServerSide.PropDelay = 30*time.Millisecond +
+			time.Duration(rng.Int63n(int64(32*time.Millisecond)))
+		cfg.Path.ClientSide.PropDelay = time.Millisecond +
+			time.Duration(rng.Int63n(int64(3*time.Millisecond)))
+	}
+	sess := &Session{
+		Sim:         s,
+		Site:        site,
+		Capture:     &trace.Trace{},
+		GroundTruth: &trace.Trace{},
+		cfg:         cfg,
+	}
+	sess.Server = NewServer(s, cfg.Server, site)
+	sess.Client = NewClient(s, cfg.Client, site)
+	sess.Server.GroundTruth = sess.GroundTruth
+
+	sess.Conn = tcpsim.NewConn(s, cfg.Path, cfg.TCP,
+		sess.Client.OnBytes,
+		sess.Server.OnBytes,
+	)
+	sess.Conn.Path.Mbox.Capture = sess.Capture
+	sess.Client.Attach(sess.Conn.Client)
+	sess.Server.Attach(sess.Conn.Server)
+	sess.Conn.Client.OnRetransmit = sess.Client.OnTCPRetransmit
+	return sess
+}
+
+// Middlebox returns the compromised vantage point for adversary
+// installation.
+func (sess *Session) Middlebox() *netem.Middlebox { return sess.Conn.Path.Mbox }
+
+// Run executes the page load until completion, connection break, or
+// the time limit, then drains in-flight transmissions.
+func (sess *Session) Run() {
+	sess.Client.Start()
+	limit := sess.cfg.TimeLimit
+	sess.Sim.RunWhile(func() bool {
+		return sess.Sim.Now() < limit &&
+			!sess.Conn.Broken() &&
+			!sess.Client.AllScheduledComplete()
+	})
+	if !sess.Conn.Broken() {
+		sess.Sim.RunUntil(sess.Sim.Now() + sess.cfg.DrainTime)
+	}
+}
+
+// Broken reports whether the trial ended with a broken connection.
+func (sess *Session) Broken() bool { return sess.Conn.Broken() }
+
+// TotalRetransmissions sums the transport retransmissions on both
+// endpoints with the client's application-level re-requests — the
+// paper's "number of retransmissions" observable.
+func (sess *Session) TotalRetransmissions() int {
+	return sess.Conn.Client.Stats.Retransmits +
+		sess.Conn.Server.Stats.Retransmits +
+		sess.Client.Stats.ReRequests
+}

@@ -1,0 +1,416 @@
+// Package netem emulates the network path between the client and the
+// server on a discrete-event simulator: rate-limited links with
+// propagation delay, random jitter, loss, and bounded queues, joined
+// by a middlebox vantage point where the adversary observes and
+// manipulates traffic.
+//
+// Topology (one Path):
+//
+//	client ──linkC2M──▶ ┌───────────┐ ──linkM2S──▶ server
+//	client ◀──linkM2C── │ middlebox │ ◀──linkS2M── server
+//	                    └───────────┘
+//
+// The middlebox sees every packet, can drop or delay individual
+// packets (the paper's jitter and targeted-drop knobs), and can change
+// the rate of its outgoing links (the paper's bandwidth-throttling
+// knob).
+package netem
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// HeaderOverhead is the per-packet TCP/IP header cost in bytes added
+// to the payload when computing wire size.
+const HeaderOverhead = 40
+
+// Packet is one TCP segment on the simulated wire.
+type Packet struct {
+	ID  uint64
+	Dir trace.Direction
+
+	// Seq is the TCP sequence number of the first payload byte.
+	Seq uint32
+	// Ack is the cumulative acknowledgement number.
+	Ack uint32
+
+	Payload []byte
+
+	// SYN/FIN/RST model the TCP control flags used by the simulation.
+	SYN, FIN, RST bool
+
+	// Retransmit is ground-truth sender annotation used by traces; a
+	// real observer would infer it from sequence numbers.
+	Retransmit bool
+
+	// SentAt is when the sender handed the packet to its link.
+	SentAt time.Duration
+}
+
+// WireLen is the packet's size on the wire including header overhead.
+func (p *Packet) WireLen() int { return len(p.Payload) + HeaderOverhead }
+
+// Handler consumes delivered packets.
+type Handler func(p *Packet)
+
+// LinkConfig describes one unidirectional link.
+type LinkConfig struct {
+	// RateBitsPerSec is the serialization rate; zero means infinite.
+	RateBitsPerSec int64
+
+	// PropDelay is the fixed propagation delay.
+	PropDelay time.Duration
+
+	// Jitter, when non-nil, returns a per-packet extra delay.
+	Jitter func(rng *rand.Rand) time.Duration
+
+	// AllowReorder lets jittered packets overtake one another. By
+	// default the link is FIFO: jitter varies delay but preserves
+	// order, as real queues do. (On-path adversarial reordering comes
+	// from middlebox hold decisions, which bypass this.)
+	AllowReorder bool
+
+	// Loss is the probability in [0,1] that a packet is dropped.
+	Loss float64
+
+	// MaxQueueDelay bounds the transmit backlog: a packet that would
+	// wait longer than this for serialization is tail-dropped. Zero
+	// means 500ms (a large router buffer).
+	MaxQueueDelay time.Duration
+}
+
+func (c LinkConfig) withDefaults() LinkConfig {
+	if c.MaxQueueDelay == 0 {
+		c.MaxQueueDelay = 500 * time.Millisecond
+	}
+	return c
+}
+
+// LinkStats counts link activity.
+type LinkStats struct {
+	Sent         int
+	DroppedLoss  int
+	DroppedQueue int
+	Bytes        int64
+}
+
+// Link is one unidirectional rate-limited link. Not safe for
+// concurrent use; everything runs on the simulator goroutine.
+type Link struct {
+	sim         *sim.Simulator
+	cfg         LinkConfig
+	dst         Handler
+	nextFree    time.Duration
+	lastArrival time.Duration
+
+	// Stats accumulates per-link counters.
+	Stats LinkStats
+}
+
+// NewLink returns a link delivering packets to dst.
+func NewLink(s *sim.Simulator, cfg LinkConfig, dst Handler) *Link {
+	return &Link{sim: s, cfg: cfg.withDefaults(), dst: dst}
+}
+
+// SetRate changes the serialization rate (bits per second; zero means
+// infinite). Takes effect for subsequently sent packets.
+func (l *Link) SetRate(bps int64) { l.cfg.RateBitsPerSec = bps }
+
+// Rate returns the current serialization rate.
+func (l *Link) Rate() int64 { return l.cfg.RateBitsPerSec }
+
+// SetLoss changes the random loss probability.
+func (l *Link) SetLoss(p float64) { l.cfg.Loss = p }
+
+// SetMaxQueueDelay changes the transmit-backlog bound.
+func (l *Link) SetMaxQueueDelay(d time.Duration) { l.cfg.MaxQueueDelay = d }
+
+// txTime returns the serialization time of n wire bytes.
+func (l *Link) txTime(n int) time.Duration {
+	if l.cfg.RateBitsPerSec <= 0 {
+		return 0
+	}
+	bits := int64(n) * 8
+	return time.Duration(bits * int64(time.Second) / l.cfg.RateBitsPerSec)
+}
+
+// Send queues p for transmission. The packet is delivered to the
+// link's destination handler after queueing, serialization,
+// propagation, and jitter; or silently dropped by loss or a full
+// queue.
+func (l *Link) Send(p *Packet) {
+	now := l.sim.Now()
+	if l.cfg.Loss > 0 && l.sim.Rand().Float64() < l.cfg.Loss {
+		l.Stats.DroppedLoss++
+		return
+	}
+	start := now
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	if start-now > l.cfg.MaxQueueDelay {
+		l.Stats.DroppedQueue++
+		return
+	}
+	tx := l.txTime(p.WireLen())
+	l.nextFree = start + tx
+	delay := l.nextFree - now + l.cfg.PropDelay
+	if l.cfg.Jitter != nil {
+		delay += l.cfg.Jitter(l.sim.Rand())
+	}
+	arrival := now + delay
+	if !l.cfg.AllowReorder && arrival < l.lastArrival {
+		arrival = l.lastArrival
+		delay = arrival - now
+	}
+	l.lastArrival = arrival
+	l.Stats.Sent++
+	l.Stats.Bytes += int64(p.WireLen())
+	dst := l.dst
+	l.sim.After(delay, func() { dst(p) })
+}
+
+// UniformJitter returns a jitter function drawing uniformly from
+// [0, max].
+func UniformJitter(max time.Duration) func(*rand.Rand) time.Duration {
+	if max <= 0 {
+		return nil
+	}
+	return func(rng *rand.Rand) time.Duration {
+		return time.Duration(rng.Int63n(int64(max) + 1))
+	}
+}
+
+// Action is the middlebox interceptor's verdict for a packet. The
+// enum starts at 1 so the zero value is invalid.
+type Action uint8
+
+const (
+	// ActPass forwards the packet immediately.
+	ActPass Action = iota + 1
+	// ActDrop discards the packet.
+	ActDrop
+	// ActDelay holds the packet for Decision.Delay before forwarding.
+	ActDelay
+)
+
+// Decision is what the interceptor wants done with a packet.
+type Decision struct {
+	Action Action
+	Delay  time.Duration
+}
+
+// Pass is the identity decision.
+func Pass() Decision { return Decision{Action: ActPass} }
+
+// Drop discards the packet.
+func Drop() Decision { return Decision{Action: ActDrop} }
+
+// Delay holds the packet for d before forwarding.
+func Delay(d time.Duration) Decision { return Decision{Action: ActDelay, Delay: d} }
+
+// Interceptor inspects each packet transiting the middlebox and
+// decides its fate. It runs on the simulator goroutine.
+type Interceptor func(dir trace.Direction, p *Packet) Decision
+
+// ByteTap receives the reassembled in-order TCP payload byte stream
+// of one direction, as a passive observer would reconstruct it.
+type ByteTap func(dir trace.Direction, b []byte)
+
+// Middlebox is the compromised on-path device: it observes every
+// packet (feeding the capture trace and the byte-stream taps), applies
+// the interceptor verdict, and forwards survivors to the outgoing
+// link of the packet's direction.
+type Middlebox struct {
+	sim *sim.Simulator
+
+	outC2S *Link // toward the server
+	outS2C *Link // toward the client
+
+	// Interceptor may be nil (pass everything).
+	Interceptor Interceptor
+
+	// Tap receives reassembled payload bytes per direction; may be nil.
+	Tap ByteTap
+
+	// Capture, when non-nil, receives packet observations.
+	Capture *trace.Trace
+
+	// Stats counts interceptor outcomes.
+	Stats struct {
+		Passed, Dropped, Delayed int
+	}
+
+	asmC2S reassembler
+	asmS2C reassembler
+}
+
+// NewMiddlebox wires a middlebox to its two outgoing links.
+func NewMiddlebox(s *sim.Simulator, toServer, toClient *Link) *Middlebox {
+	return &Middlebox{sim: s, outC2S: toServer, outS2C: toClient}
+}
+
+// HandlePacket is the middlebox's link-delivery entry point.
+func (m *Middlebox) HandlePacket(p *Packet) {
+	if m.Capture != nil {
+		m.Capture.AddPacket(trace.PacketObs{
+			Time:       m.sim.Now(),
+			Dir:        p.Dir,
+			Seq:        p.Seq,
+			PayloadLen: len(p.Payload),
+			WireLen:    p.WireLen(),
+			Retransmit: p.Retransmit,
+		})
+	}
+	if m.Tap != nil && len(p.Payload) > 0 {
+		var fresh []byte
+		if p.Dir == trace.ClientToServer {
+			fresh = m.asmC2S.push(p.Seq, p.Payload)
+		} else {
+			fresh = m.asmS2C.push(p.Seq, p.Payload)
+		}
+		if len(fresh) > 0 {
+			m.Tap(p.Dir, fresh)
+		}
+	}
+
+	dec := Pass()
+	if m.Interceptor != nil {
+		dec = m.Interceptor(p.Dir, p)
+	}
+	out := m.outC2S
+	if p.Dir == trace.ServerToClient {
+		out = m.outS2C
+	}
+	switch dec.Action {
+	case ActDrop:
+		m.Stats.Dropped++
+	case ActDelay:
+		m.Stats.Delayed++
+		m.sim.After(dec.Delay, func() { out.Send(p) })
+	default:
+		m.Stats.Passed++
+		out.Send(p)
+	}
+}
+
+// reassembler rebuilds an in-order byte stream from possibly
+// out-of-order, duplicated TCP segments, the way a passive sniffer
+// does.
+type reassembler struct {
+	next    uint32
+	started bool
+	held    map[uint32][]byte // future segments keyed by start seq
+}
+
+// push ingests one segment and returns any newly contiguous bytes.
+func (r *reassembler) push(seq uint32, payload []byte) []byte {
+	if !r.started {
+		r.next = seq
+		r.started = true
+	}
+	if r.held == nil {
+		r.held = make(map[uint32][]byte)
+	}
+	end := seq + uint32(len(payload))
+	if seqLEQ(end, r.next) {
+		return nil // pure duplicate
+	}
+	if seqLess(r.next, seq) {
+		// Future segment: hold (keep the longest copy for the slot).
+		if old, ok := r.held[seq]; !ok || len(payload) > len(old) {
+			cp := make([]byte, len(payload))
+			copy(cp, payload)
+			r.held[seq] = cp
+		}
+		return nil
+	}
+	// Overlapping or exactly next: take the fresh suffix.
+	fresh := append([]byte(nil), payload[r.next-seq:]...)
+	r.next = end
+	// Drain any now-contiguous held segments.
+	for {
+		advanced := false
+		for hseq, hp := range r.held {
+			hend := hseq + uint32(len(hp))
+			if seqLEQ(hend, r.next) {
+				delete(r.held, hseq)
+				advanced = true
+				continue
+			}
+			if seqLEQ(hseq, r.next) {
+				fresh = append(fresh, hp[r.next-hseq:]...)
+				r.next = hend
+				delete(r.held, hseq)
+				advanced = true
+			}
+		}
+		if !advanced {
+			return fresh
+		}
+	}
+}
+
+// seqLess is modular 32-bit sequence comparison (RFC 793 style).
+func seqLess(a, b uint32) bool { return int32(a-b) < 0 }
+
+// seqLEQ is modular less-or-equal.
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// Path assembles the full client↔server topology around one
+// middlebox.
+type Path struct {
+	Mbox *Middlebox
+
+	// LinkC2M and LinkS2M feed the middlebox; LinkM2S and LinkM2C are
+	// its outgoing links (whose rates the adversary throttles).
+	LinkC2M, LinkM2S, LinkS2M, LinkM2C *Link
+}
+
+// PathConfig holds the ambient (non-adversarial) link parameters for
+// each half of the path.
+type PathConfig struct {
+	// ClientSide configures client↔middlebox links.
+	ClientSide LinkConfig
+	// ServerSide configures middlebox↔server links.
+	ServerSide LinkConfig
+}
+
+// NewPath builds the topology. clientRecv and serverRecv receive
+// packets delivered to the endpoints.
+func NewPath(s *sim.Simulator, cfg PathConfig, clientRecv, serverRecv Handler) *Path {
+	toServer := NewLink(s, cfg.ServerSide, serverRecv)
+	toClient := NewLink(s, cfg.ClientSide, clientRecv)
+	mbox := NewMiddlebox(s, toServer, toClient)
+	return &Path{
+		Mbox:    mbox,
+		LinkC2M: NewLink(s, cfg.ClientSide, mbox.HandlePacket),
+		LinkS2M: NewLink(s, cfg.ServerSide, mbox.HandlePacket),
+		LinkM2S: toServer,
+		LinkM2C: toClient,
+	}
+}
+
+// SendFromClient injects a client packet into the path.
+func (p *Path) SendFromClient(pkt *Packet) {
+	pkt.Dir = trace.ClientToServer
+	p.LinkC2M.Send(pkt)
+}
+
+// SendFromServer injects a server packet into the path.
+func (p *Path) SendFromServer(pkt *Packet) {
+	pkt.Dir = trace.ServerToClient
+	p.LinkS2M.Send(pkt)
+}
+
+// SetBandwidth throttles both middlebox outgoing links, as the
+// paper's adversary does ("bandwidth limits are applied for both
+// incoming and outgoing packets").
+func (p *Path) SetBandwidth(bps int64) {
+	p.LinkM2S.SetRate(bps)
+	p.LinkM2C.SetRate(bps)
+}

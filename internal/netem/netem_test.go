@@ -1,0 +1,369 @@
+package netem
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestLinkDeliversWithPropDelay(t *testing.T) {
+	s := sim.New(1)
+	var at time.Duration
+	l := NewLink(s, LinkConfig{PropDelay: 10 * time.Millisecond}, func(p *Packet) {
+		at = s.Now()
+	})
+	l.Send(&Packet{Payload: []byte("x")})
+	s.Run()
+	if at != 10*time.Millisecond {
+		t.Errorf("delivered at %v, want 10ms", at)
+	}
+}
+
+func TestLinkSerializationDelay(t *testing.T) {
+	s := sim.New(1)
+	// 1 Mbps; 1000-byte payload + 40 overhead = 8320 bits = 8.32 ms.
+	var at time.Duration
+	l := NewLink(s, LinkConfig{RateBitsPerSec: 1_000_000}, func(p *Packet) { at = s.Now() })
+	l.Send(&Packet{Payload: make([]byte, 1000)})
+	s.Run()
+	want := 8320 * time.Microsecond
+	if at != want {
+		t.Errorf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestLinkBackToBackQueueing(t *testing.T) {
+	s := sim.New(1)
+	var times []time.Duration
+	l := NewLink(s, LinkConfig{RateBitsPerSec: 1_000_000}, func(p *Packet) {
+		times = append(times, s.Now())
+	})
+	for i := 0; i < 3; i++ {
+		l.Send(&Packet{Payload: make([]byte, 1000)})
+	}
+	s.Run()
+	if len(times) != 3 {
+		t.Fatalf("delivered %d packets, want 3", len(times))
+	}
+	per := 8320 * time.Microsecond
+	for i, at := range times {
+		want := time.Duration(i+1) * per
+		if at != want {
+			t.Errorf("packet %d delivered at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestLinkQueueOverflowDrops(t *testing.T) {
+	s := sim.New(1)
+	delivered := 0
+	l := NewLink(s, LinkConfig{
+		RateBitsPerSec: 1_000_000,
+		MaxQueueDelay:  10 * time.Millisecond,
+	}, func(p *Packet) { delivered++ })
+	for i := 0; i < 10; i++ { // 8.32ms each; queue caps around 2 extra
+		l.Send(&Packet{Payload: make([]byte, 1000)})
+	}
+	s.Run()
+	if l.Stats.DroppedQueue == 0 {
+		t.Error("no queue drops despite overload")
+	}
+	if delivered+l.Stats.DroppedQueue != 10 {
+		t.Errorf("delivered %d + dropped %d != 10", delivered, l.Stats.DroppedQueue)
+	}
+}
+
+func TestLinkLoss(t *testing.T) {
+	s := sim.New(7)
+	delivered := 0
+	l := NewLink(s, LinkConfig{Loss: 0.5}, func(p *Packet) { delivered++ })
+	for i := 0; i < 1000; i++ {
+		l.Send(&Packet{Payload: []byte("x")})
+	}
+	s.Run()
+	if delivered < 400 || delivered > 600 {
+		t.Errorf("delivered %d of 1000 at 50%% loss", delivered)
+	}
+	if l.Stats.DroppedLoss+delivered != 1000 {
+		t.Errorf("loss accounting: %d + %d != 1000", l.Stats.DroppedLoss, delivered)
+	}
+}
+
+func TestLinkJitterReorders(t *testing.T) {
+	s := sim.New(3)
+	var order []uint64
+	l := NewLink(s, LinkConfig{
+		PropDelay:    time.Millisecond,
+		Jitter:       UniformJitter(20 * time.Millisecond),
+		AllowReorder: true,
+	}, func(p *Packet) { order = append(order, p.ID) })
+	for i := 0; i < 50; i++ {
+		id := uint64(i)
+		l.Send(&Packet{ID: id, Payload: []byte("x")})
+		s.RunUntil(s.Now() + 100*time.Microsecond)
+	}
+	s.Run()
+	if len(order) != 50 {
+		t.Fatalf("delivered %d, want 50", len(order))
+	}
+	inOrder := true
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Error("heavy jitter never reordered packets")
+	}
+}
+
+func TestUniformJitterZero(t *testing.T) {
+	if UniformJitter(0) != nil {
+		t.Error("UniformJitter(0) should be nil (no jitter)")
+	}
+}
+
+func TestSetRateTakesEffect(t *testing.T) {
+	s := sim.New(1)
+	var times []time.Duration
+	l := NewLink(s, LinkConfig{}, func(p *Packet) { times = append(times, s.Now()) })
+	l.Send(&Packet{Payload: make([]byte, 1000)})
+	s.Run()
+	l.SetRate(1_000_000)
+	if l.Rate() != 1_000_000 {
+		t.Fatalf("Rate = %d", l.Rate())
+	}
+	base := s.Now()
+	l.Send(&Packet{Payload: make([]byte, 1000)})
+	s.Run()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	if times[0] != 0 {
+		t.Errorf("unthrottled delivery at %v, want 0", times[0])
+	}
+	if got := times[1] - base; got != 8320*time.Microsecond {
+		t.Errorf("throttled delivery took %v, want 8.32ms", got)
+	}
+}
+
+func newTestPath(s *sim.Simulator, clientRecv, serverRecv Handler) *Path {
+	return NewPath(s, PathConfig{
+		ClientSide: LinkConfig{PropDelay: time.Millisecond},
+		ServerSide: LinkConfig{PropDelay: 2 * time.Millisecond},
+	}, clientRecv, serverRecv)
+}
+
+func TestPathEndToEnd(t *testing.T) {
+	s := sim.New(1)
+	var gotServer, gotClient *Packet
+	var atServer, atClient time.Duration
+	p := newTestPath(s,
+		func(pkt *Packet) { gotClient, atClient = pkt, s.Now() },
+		func(pkt *Packet) { gotServer, atServer = pkt, s.Now() },
+	)
+	p.SendFromClient(&Packet{Seq: 100, Payload: []byte("req")})
+	s.Run()
+	if gotServer == nil || gotServer.Seq != 100 {
+		t.Fatal("server did not receive the client packet")
+	}
+	if atServer != 3*time.Millisecond { // 1ms + 2ms
+		t.Errorf("server delivery at %v, want 3ms", atServer)
+	}
+	p.SendFromServer(&Packet{Seq: 200, Payload: []byte("resp")})
+	s.Run()
+	if gotClient == nil || gotClient.Seq != 200 {
+		t.Fatal("client did not receive the server packet")
+	}
+	if atClient-atServer != 3*time.Millisecond {
+		t.Errorf("client delivery took %v, want 3ms", atClient-atServer)
+	}
+}
+
+func TestMiddleboxCaptureAndStats(t *testing.T) {
+	s := sim.New(1)
+	p := newTestPath(s, func(*Packet) {}, func(*Packet) {})
+	cap := &trace.Trace{}
+	p.Mbox.Capture = cap
+	p.SendFromClient(&Packet{Seq: 0, Payload: []byte("abcd"), Retransmit: true})
+	p.SendFromServer(&Packet{Seq: 0, Payload: []byte("efgh")})
+	s.Run()
+	if len(cap.Packets) != 2 {
+		t.Fatalf("captured %d packets, want 2", len(cap.Packets))
+	}
+	if cap.Packets[0].Dir != trace.ClientToServer || !cap.Packets[0].Retransmit {
+		t.Errorf("first obs = %+v", cap.Packets[0])
+	}
+	if cap.RetransmitCount(trace.ClientToServer) != 1 {
+		t.Error("retransmit count wrong")
+	}
+	if p.Mbox.Stats.Passed != 2 {
+		t.Errorf("passed = %d, want 2", p.Mbox.Stats.Passed)
+	}
+}
+
+func TestMiddleboxInterceptorDropAndDelay(t *testing.T) {
+	s := sim.New(1)
+	var deliveries []time.Duration
+	p := newTestPath(s, func(*Packet) {}, func(pkt *Packet) {
+		deliveries = append(deliveries, s.Now())
+	})
+	p.Mbox.Interceptor = func(dir trace.Direction, pkt *Packet) Decision {
+		switch pkt.ID {
+		case 1:
+			return Drop()
+		case 2:
+			return Delay(50 * time.Millisecond)
+		default:
+			return Pass()
+		}
+	}
+	p.SendFromClient(&Packet{ID: 1, Payload: []byte("dropme")})
+	p.SendFromClient(&Packet{ID: 2, Payload: []byte("delayme")})
+	p.SendFromClient(&Packet{ID: 3, Payload: []byte("passme")})
+	s.Run()
+	if len(deliveries) != 2 {
+		t.Fatalf("delivered %d packets, want 2 (one dropped)", len(deliveries))
+	}
+	if p.Mbox.Stats.Dropped != 1 || p.Mbox.Stats.Delayed != 1 || p.Mbox.Stats.Passed != 1 {
+		t.Errorf("stats = %+v", p.Mbox.Stats)
+	}
+	// The delayed packet (50ms hold) must arrive well after the passed one.
+	if deliveries[1]-deliveries[0] < 45*time.Millisecond {
+		t.Errorf("delay hold too short: %v", deliveries[1]-deliveries[0])
+	}
+}
+
+func TestMiddleboxByteTapReassembly(t *testing.T) {
+	s := sim.New(1)
+	p := newTestPath(s, func(*Packet) {}, func(*Packet) {})
+	var got bytes.Buffer
+	p.Mbox.Tap = func(dir trace.Direction, b []byte) {
+		if dir == trace.ClientToServer {
+			got.Write(b)
+		}
+	}
+	// Deliver out of order with a duplicate: tap must see in-order
+	// deduplicated bytes.
+	p.SendFromClient(&Packet{Seq: 1000, Payload: []byte("hello ")})
+	s.Run()
+	p.SendFromClient(&Packet{Seq: 1012, Payload: []byte("attack")}) // future
+	s.Run()
+	p.SendFromClient(&Packet{Seq: 1006, Payload: []byte("world ")}) // fills gap
+	s.Run()
+	p.SendFromClient(&Packet{Seq: 1000, Payload: []byte("hello ")}) // duplicate
+	s.Run()
+	if got.String() != "hello world attack" {
+		t.Errorf("tap saw %q, want %q", got.String(), "hello world attack")
+	}
+}
+
+func TestReassemblerOverlap(t *testing.T) {
+	var r reassembler
+	out := r.push(0, []byte("abcd"))
+	out = append(out, r.push(2, []byte("cdef"))...) // overlaps 2 bytes
+	if string(out) != "abcdef" {
+		t.Errorf("reassembled %q, want abcdef", out)
+	}
+}
+
+func TestReassemblerWraparound(t *testing.T) {
+	var r reassembler
+	start := uint32(0xfffffffe)
+	out := r.push(start, []byte("ab"))            // ends at 0
+	out = append(out, r.push(0, []byte("cd"))...) // wraps
+	if string(out) != "abcd" {
+		t.Errorf("reassembled %q, want abcd", out)
+	}
+}
+
+func TestSetBandwidthThrottlesBothDirections(t *testing.T) {
+	s := sim.New(1)
+	var toServer, toClient time.Duration
+	p := newTestPath(s,
+		func(*Packet) { toClient = s.Now() },
+		func(*Packet) { toServer = s.Now() },
+	)
+	p.SetBandwidth(1_000_000)
+	p.SendFromClient(&Packet{Payload: make([]byte, 1000)})
+	s.Run()
+	mark := s.Now()
+	p.SendFromServer(&Packet{Payload: make([]byte, 1000)})
+	s.Run()
+	// 8.32ms serialization at the middlebox + 3ms propagation.
+	if toServer < 11*time.Millisecond {
+		t.Errorf("c->s delivery at %v, want >= 11.3ms", toServer)
+	}
+	if toClient-mark < 11*time.Millisecond {
+		t.Errorf("s->c delivery took %v, want >= 11.3ms", toClient-mark)
+	}
+}
+
+func TestDirectionHelpers(t *testing.T) {
+	if trace.ClientToServer.Reverse() != trace.ServerToClient {
+		t.Error("Reverse broken")
+	}
+	if trace.ClientToServer.String() != "c->s" || trace.ServerToClient.String() != "s->c" {
+		t.Error("String broken")
+	}
+	if (&Packet{Payload: make([]byte, 10)}).WireLen() != 50 {
+		t.Error("WireLen broken")
+	}
+}
+
+func TestLinkFIFOByDefault(t *testing.T) {
+	// Heavy jitter without AllowReorder must never reorder.
+	s := sim.New(9)
+	var order []uint64
+	l := NewLink(s, LinkConfig{
+		PropDelay: time.Millisecond,
+		Jitter:    UniformJitter(30 * time.Millisecond),
+	}, func(p *Packet) { order = append(order, p.ID) })
+	for i := 0; i < 80; i++ {
+		l.Send(&Packet{ID: uint64(i), Payload: []byte("x")})
+		s.RunUntil(s.Now() + 200*time.Microsecond)
+	}
+	s.Run()
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("FIFO link reordered: %v before %v", order[i-1], order[i])
+		}
+	}
+}
+
+func TestMiddleboxTapBothDirections(t *testing.T) {
+	s := sim.New(1)
+	p := newTestPath(s, func(*Packet) {}, func(*Packet) {})
+	var c2s, s2c bytes.Buffer
+	p.Mbox.Tap = func(dir trace.Direction, b []byte) {
+		if dir == trace.ClientToServer {
+			c2s.Write(b)
+		} else {
+			s2c.Write(b)
+		}
+	}
+	p.SendFromClient(&Packet{Seq: 0, Payload: []byte("req")})
+	p.SendFromServer(&Packet{Seq: 0, Payload: []byte("resp")})
+	s.Run()
+	if c2s.String() != "req" || s2c.String() != "resp" {
+		t.Errorf("taps saw %q / %q", c2s.String(), s2c.String())
+	}
+}
+
+func TestLinkStatsAccounting(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, LinkConfig{}, func(*Packet) {})
+	l.Send(&Packet{Payload: make([]byte, 100)})
+	l.Send(&Packet{Payload: make([]byte, 200)})
+	s.Run()
+	if l.Stats.Sent != 2 {
+		t.Errorf("sent = %d", l.Stats.Sent)
+	}
+	if l.Stats.Bytes != int64(100+40+200+40) {
+		t.Errorf("bytes = %d", l.Stats.Bytes)
+	}
+}

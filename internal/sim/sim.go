@@ -1,0 +1,179 @@
+// Package sim provides a deterministic discrete-event simulator: a
+// virtual clock, an event queue, restartable timers, and seeded
+// randomness.
+//
+// All of the network, transport, and HTTP/2 simulation layers in this
+// repository are event-driven callbacks scheduled on one Simulator, so
+// a whole attack trial — hundreds of packets, retransmission timers,
+// jitter distributions — runs deterministically from a single seed and
+// completes in microseconds of real time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-breaker: FIFO among same-time events
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator is a single-threaded discrete-event scheduler. It is not
+// safe for concurrent use; all callbacks run on the caller's
+// goroutine inside Run.
+type Simulator struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+
+	// Steps counts executed events, to bound runaway simulations.
+	steps uint64
+
+	// MaxSteps aborts Run with a panic after this many events; zero
+	// means no limit. Used to catch livelocks in tests.
+	MaxSteps uint64
+}
+
+// New returns a simulator whose randomness derives entirely from seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time (elapsed since simulation
+// start).
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Steps reports how many events have executed.
+func (s *Simulator) Steps() uint64 { return s.steps }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past
+// runs the event "now" (at the current time, after already-queued
+// same-time events).
+func (s *Simulator) At(t time.Duration, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d from now. Negative d behaves like zero.
+func (s *Simulator) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// step executes the earliest pending event and returns false when the
+// queue is empty.
+func (s *Simulator) step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*event)
+	s.now = e.at
+	s.steps++
+	if s.MaxSteps != 0 && s.steps > s.MaxSteps {
+		panic(fmt.Sprintf("sim: exceeded %d steps at t=%v", s.MaxSteps, s.now))
+	}
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (s *Simulator) Run() {
+	for s.step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then advances the clock to
+// exactly t.
+func (s *Simulator) RunUntil(t time.Duration) {
+	for len(s.events) > 0 && s.events[0].at <= t {
+		s.step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunWhile executes events while cond() stays true and events remain.
+func (s *Simulator) RunWhile(cond func() bool) {
+	for cond() && s.step() {
+	}
+}
+
+// Timer is a restartable one-shot timer bound to a Simulator. The
+// zero value is not usable; construct with NewTimer.
+type Timer struct {
+	s   *Simulator
+	fn  func()
+	gen uint64 // invalidates stale firings
+	at  time.Duration
+	set bool
+}
+
+// NewTimer returns a stopped timer that runs fn when it fires.
+func (s *Simulator) NewTimer(fn func()) *Timer {
+	return &Timer{s: s, fn: fn}
+}
+
+// Reset (re)arms the timer to fire d from now, cancelling any earlier
+// deadline.
+func (t *Timer) Reset(d time.Duration) {
+	t.gen++
+	gen := t.gen
+	t.at = t.s.Now() + d
+	t.set = true
+	t.s.After(d, func() {
+		if t.gen != gen || !t.set {
+			return
+		}
+		t.set = false
+		t.fn()
+	})
+}
+
+// Stop disarms the timer. It is safe to stop a stopped timer.
+func (t *Timer) Stop() {
+	t.gen++
+	t.set = false
+}
+
+// Armed reports whether the timer has a pending deadline.
+func (t *Timer) Armed() bool { return t.set }
+
+// Deadline returns the pending fire time; valid only while Armed.
+func (t *Timer) Deadline() time.Duration { return t.at }

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.After(30*time.Millisecond, func() { got = append(got, 3) })
+	s.After(10*time.Millisecond, func() { got = append(got, 1) })
+	s.After(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", got)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("final time = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var fired []time.Duration
+	s.After(time.Millisecond, func() {
+		fired = append(fired, s.Now())
+		s.After(2*time.Millisecond, func() {
+			fired = append(fired, s.Now())
+		})
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != time.Millisecond || fired[1] != 3*time.Millisecond {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestSchedulingInPastClamps(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.After(10*time.Millisecond, func() {
+		s.At(time.Millisecond, func() { ran = true }) // in the past
+	})
+	s.Run()
+	if !ran {
+		t.Error("past-scheduled event never ran")
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Errorf("clock went backwards: %v", s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var count int
+	for i := 1; i <= 5; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	s.RunUntil(3 * time.Millisecond)
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+	if s.Now() != 3*time.Millisecond {
+		t.Errorf("now = %v, want 3ms", s.Now())
+	}
+	s.RunUntil(10 * time.Millisecond)
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Errorf("now = %v, want 10ms (advances past last event)", s.Now())
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	s := New(1)
+	var count int
+	for i := 1; i <= 100; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	s.RunWhile(func() bool { return count < 7 })
+	if count != 7 {
+		t.Errorf("count = %d, want 7", count)
+	}
+}
+
+func TestTimerFires(t *testing.T) {
+	s := New(1)
+	fired := 0
+	tm := s.NewTimer(func() { fired++ })
+	tm.Reset(5 * time.Millisecond)
+	if !tm.Armed() {
+		t.Error("timer not armed after Reset")
+	}
+	if tm.Deadline() != 5*time.Millisecond {
+		t.Errorf("deadline = %v", tm.Deadline())
+	}
+	s.Run()
+	if fired != 1 {
+		t.Errorf("fired %d times, want 1", fired)
+	}
+	if tm.Armed() {
+		t.Error("timer still armed after firing")
+	}
+}
+
+func TestTimerStopPreventsFiring(t *testing.T) {
+	s := New(1)
+	fired := 0
+	tm := s.NewTimer(func() { fired++ })
+	tm.Reset(5 * time.Millisecond)
+	s.After(time.Millisecond, func() { tm.Stop() })
+	s.Run()
+	if fired != 0 {
+		t.Errorf("stopped timer fired %d times", fired)
+	}
+	tm.Stop() // stopping again is a no-op
+}
+
+func TestTimerResetSupersedesOldDeadline(t *testing.T) {
+	s := New(1)
+	var at time.Duration
+	tm := s.NewTimer(func() { at = s.Now() })
+	tm.Reset(5 * time.Millisecond)
+	s.After(time.Millisecond, func() { tm.Reset(20 * time.Millisecond) })
+	s.Run()
+	if at != 21*time.Millisecond {
+		t.Errorf("timer fired at %v, want 21ms", at)
+	}
+}
+
+func TestTimerRearmInCallback(t *testing.T) {
+	s := New(1)
+	count := 0
+	var tm *Timer
+	tm = s.NewTimer(func() {
+		count++
+		if count < 3 {
+			tm.Reset(time.Millisecond)
+		}
+	})
+	tm.Reset(time.Millisecond)
+	s.Run()
+	if count != 3 {
+		t.Errorf("periodic rearm fired %d times, want 3", count)
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func(seed int64) []int64 {
+		s := New(seed)
+		var out []int64
+		var tick func()
+		tick = func() {
+			out = append(out, s.Rand().Int63n(1000))
+			if len(out) < 50 {
+				s.After(time.Duration(s.Rand().Int63n(int64(time.Millisecond))), tick)
+			}
+		}
+		s.After(0, tick)
+		s.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	s := New(1)
+	s.MaxSteps = 10
+	var loop func()
+	loop = func() { s.After(time.Microsecond, loop) }
+	s.After(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("runaway simulation did not panic")
+		}
+	}()
+	s.Run()
+}
+
+func TestClockMonotoneQuick(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New(7)
+		last := time.Duration(-1)
+		ok := true
+		for _, d := range delays {
+			s.After(time.Duration(d)*time.Microsecond, func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepsCounter(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 5; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run()
+	if s.Steps() != 5 {
+		t.Errorf("steps = %d, want 5", s.Steps())
+	}
+}

@@ -1,0 +1,516 @@
+// Package tcpsim implements a simplified TCP endpoint on the
+// discrete-event simulator: MSS segmentation, cumulative ACKs,
+// duplicate-ACK fast retransmit, retransmission timeouts with
+// exponential backoff, slow-start/AIMD congestion control, and
+// in-order delivery with receive-side reassembly.
+//
+// These are exactly the transport mechanisms the reproduced attack
+// manipulates: jitter-induced reordering triggers dup-ACKs and
+// spurious fast retransmits; bandwidth throttling shrinks the
+// effective window via the congestion response; sustained targeted
+// loss exhausts the retry budget and (one layer up) drives the HTTP/2
+// client to reset its streams.
+package tcpsim
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// ErrConnectionBroken is reported via OnBreak when the retransmission
+// retry budget is exhausted (the paper's "broken connection").
+var ErrConnectionBroken = errors.New("tcpsim: connection broken: retransmission retries exhausted")
+
+// Config tunes an endpoint. The zero value means defaults.
+type Config struct {
+	// MSS is the maximum segment payload size. Default 1460.
+	MSS int
+
+	// InitialCwnd is the initial congestion window in segments.
+	// Default 10 (RFC 6928).
+	InitialCwnd int
+
+	// RTOInit is the initial retransmission timeout. Default 1s.
+	RTOInit time.Duration
+
+	// RTOMin floors the adaptive RTO. Default 200ms.
+	RTOMin time.Duration
+
+	// RTOMax caps the backed-off RTO. Default 60s.
+	RTOMax time.Duration
+
+	// MaxRetries is the number of consecutive RTO expiries tolerated
+	// before the connection is declared broken. Default 6.
+	MaxRetries int
+
+	// DupAckThreshold triggers fast retransmit. Default 3.
+	DupAckThreshold int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MSS == 0 {
+		c.MSS = 1460
+	}
+	if c.InitialCwnd == 0 {
+		c.InitialCwnd = 10
+	}
+	if c.RTOInit == 0 {
+		c.RTOInit = time.Second
+	}
+	if c.RTOMin == 0 {
+		c.RTOMin = 200 * time.Millisecond
+	}
+	if c.RTOMax == 0 {
+		c.RTOMax = 60 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 6
+	}
+	if c.DupAckThreshold == 0 {
+		c.DupAckThreshold = 3
+	}
+	return c
+}
+
+// Stats counts transport events on one endpoint.
+type Stats struct {
+	SegmentsSent       int
+	BytesSent          int64
+	Retransmits        int // all retransmitted segments
+	FastRetransmits    int
+	TimeoutRetransmits int
+	DupAcksSent        int
+	DupAcksRecvd       int
+	AcksSent           int
+}
+
+// Endpoint is one side of a simulated TCP connection. Not safe for
+// concurrent use; it runs entirely on the simulator goroutine.
+type Endpoint struct {
+	name string
+	s    *sim.Simulator
+	cfg  Config
+	out  func(*netem.Packet) // inject into the network
+	app  func([]byte)        // ordered delivery upward
+
+	// Send state. sendBuf holds bytes [sndUna, sndUna+len).
+	sndUna, sndNxt uint32
+	sendBuf        []byte
+	cwnd           float64 // bytes
+	ssthresh       float64
+	dupAcks        int
+	retries        int
+	rtoTimer       *sim.Timer
+	rto            time.Duration
+	srtt, rttvar   time.Duration
+	sentAt         map[uint32]time.Duration // end-seq -> first-send time (Karn)
+	broken         bool
+
+	// Receive state.
+	rcvNxt uint32
+	held   map[uint32][]byte
+
+	// OnBreak is called once when the connection breaks. May be nil.
+	OnBreak func(error)
+
+	// OnRetransmit, when non-nil, is called with the sequence range of
+	// every retransmitted segment (fast retransmit or timeout). The
+	// HTTP/2 client layer uses it to mirror the paper's observed
+	// browser behaviour of re-issuing requests whose segments were
+	// retransmitted.
+	OnRetransmit func(seqStart, seqEnd uint32)
+
+	// Stats accumulates counters.
+	Stats Stats
+
+	pktID uint64
+}
+
+// New creates an endpoint. out injects packets toward the peer; app
+// receives the ordered inbound byte stream. name labels diagnostics.
+func New(s *sim.Simulator, cfg Config, name string, out func(*netem.Packet), app func([]byte)) *Endpoint {
+	e := &Endpoint{
+		name:   name,
+		s:      s,
+		cfg:    cfg.withDefaults(),
+		out:    out,
+		app:    app,
+		sentAt: make(map[uint32]time.Duration),
+		held:   make(map[uint32][]byte),
+	}
+	e.cwnd = float64(e.cfg.InitialCwnd * e.cfg.MSS)
+	e.ssthresh = 1 << 30
+	e.rto = e.cfg.RTOInit
+	e.rtoTimer = s.NewTimer(e.onRTO)
+	return e
+}
+
+// MSS returns the configured segment size.
+func (e *Endpoint) MSS() int { return e.cfg.MSS }
+
+// Cwnd returns the current congestion window in bytes.
+func (e *Endpoint) Cwnd() int { return int(e.cwnd) }
+
+// Broken reports whether the connection has failed.
+func (e *Endpoint) Broken() bool { return e.broken }
+
+// Outstanding returns the number of sent-but-unacked bytes.
+func (e *Endpoint) Outstanding() int { return int(e.sndNxt - e.sndUna) }
+
+// BufferedSend returns bytes queued (sent or not) above sndUna.
+func (e *Endpoint) BufferedSend() int { return len(e.sendBuf) }
+
+// Write queues b for transmission.
+func (e *Endpoint) Write(b []byte) {
+	if e.broken || len(b) == 0 {
+		return
+	}
+	e.sendBuf = append(e.sendBuf, b...)
+	e.trySend()
+}
+
+// trySend emits new segments within the congestion window.
+func (e *Endpoint) trySend() {
+	if e.broken {
+		return
+	}
+	for {
+		inFlight := int(e.sndNxt - e.sndUna)
+		avail := len(e.sendBuf) - inFlight
+		if avail <= 0 {
+			break
+		}
+		win := int(e.cwnd) - inFlight
+		if win <= 0 {
+			break
+		}
+		n := e.cfg.MSS
+		if n > avail {
+			n = avail
+		}
+		if n > win {
+			// Send a short segment only if nothing is in flight
+			// (avoid silly-window behaviour but never deadlock).
+			if inFlight > 0 {
+				break
+			}
+			n = win
+		}
+		seg := make([]byte, n)
+		copy(seg, e.sendBuf[inFlight:inFlight+n])
+		e.emit(e.sndNxt, seg, false)
+		e.sentAt[e.sndNxt+uint32(n)] = e.s.Now()
+		e.sndNxt += uint32(n)
+	}
+	if e.Outstanding() > 0 && !e.rtoTimer.Armed() {
+		e.rtoTimer.Reset(e.rto)
+	}
+}
+
+// emit sends one segment (or pure ACK when payload is empty).
+func (e *Endpoint) emit(seq uint32, payload []byte, retransmit bool) {
+	e.pktID++
+	p := &netem.Packet{
+		ID:         e.pktID,
+		Seq:        seq,
+		Ack:        e.rcvNxt,
+		Payload:    payload,
+		Retransmit: retransmit,
+		SentAt:     e.s.Now(),
+	}
+	if len(payload) > 0 {
+		e.Stats.SegmentsSent++
+		e.Stats.BytesSent += int64(len(payload))
+		if retransmit {
+			e.Stats.Retransmits++
+		}
+	} else {
+		e.Stats.AcksSent++
+	}
+	e.out(p)
+}
+
+// retransmitHead resends the segment starting at sndUna.
+func (e *Endpoint) retransmitHead() {
+	n := e.cfg.MSS
+	if n > len(e.sendBuf) {
+		n = len(e.sendBuf)
+	}
+	if n == 0 {
+		return
+	}
+	seg := make([]byte, n)
+	copy(seg, e.sendBuf[:n])
+	// Karn's algorithm: no RTT samples from a window containing a
+	// retransmission — a cumulative ACK triggered by the retransmitted
+	// head would otherwise be matched against the first-transmission
+	// timestamp of a later segment, poisoning SRTT with the whole
+	// stall duration.
+	clear(e.sentAt)
+	e.emit(e.sndUna, seg, true)
+	if e.OnRetransmit != nil {
+		e.OnRetransmit(e.sndUna, e.sndUna+uint32(n))
+	}
+}
+
+// onRTO handles a retransmission timeout.
+func (e *Endpoint) onRTO() {
+	if e.broken || e.Outstanding() == 0 {
+		return
+	}
+	e.retries++
+	if e.retries > e.cfg.MaxRetries {
+		e.breakConn()
+		return
+	}
+	e.Stats.TimeoutRetransmits++
+	flight := float64(e.Outstanding())
+	e.ssthresh = maxf(flight/2, float64(2*e.cfg.MSS))
+	e.cwnd = float64(e.cfg.MSS)
+	e.dupAcks = 0
+	e.rto *= 2
+	if e.rto > e.cfg.RTOMax {
+		e.rto = e.cfg.RTOMax
+	}
+	e.retransmitHead()
+	e.rtoTimer.Reset(e.rto)
+}
+
+func (e *Endpoint) breakConn() {
+	if e.broken {
+		return
+	}
+	e.broken = true
+	e.rtoTimer.Stop()
+	if e.OnBreak != nil {
+		e.OnBreak(ErrConnectionBroken)
+	}
+}
+
+// HandlePacket ingests a packet from the network (wire it as the
+// netem Path's delivery handler for this endpoint).
+func (e *Endpoint) HandlePacket(p *netem.Packet) {
+	if e.broken {
+		return
+	}
+	e.handleAck(p.Ack, len(p.Payload) == 0)
+	if len(p.Payload) > 0 {
+		e.handleData(p.Seq, p.Payload)
+	}
+}
+
+// handleAck processes the cumulative acknowledgement field. pureAck
+// reports that the packet carried no payload: per RFC 5681 only such
+// segments may count as duplicate ACKs.
+func (e *Endpoint) handleAck(ack uint32, pureAck bool) {
+	if seqLess(e.sndUna, ack) && seqLEQ(ack, e.sndNxt) {
+		acked := ack - e.sndUna
+		// RTT sample (Karn-filtered).
+		if t0, ok := e.sentAt[ack]; ok {
+			e.updateRTT(e.s.Now() - t0)
+		}
+		for endSeq := range e.sentAt {
+			if seqLEQ(endSeq, ack) {
+				delete(e.sentAt, endSeq)
+			}
+		}
+		e.sendBuf = e.sendBuf[acked:]
+		e.sndUna = ack
+		e.dupAcks = 0
+		e.retries = 0
+		// Forward progress ends any timeout backoff: recompute the RTO
+		// from the smoothed estimators (RFC 6298 section 5.7) instead
+		// of staying at the backed-off value, which would otherwise
+		// make every later loss cost a full backed-off timeout.
+		e.rto = e.clampRTO(e.computeRTO())
+		// Congestion window growth.
+		if e.cwnd < e.ssthresh {
+			e.cwnd += float64(minInt(int(acked), e.cfg.MSS)) // slow start
+		} else {
+			e.cwnd += float64(e.cfg.MSS) * float64(e.cfg.MSS) / e.cwnd // AIMD
+		}
+		if e.Outstanding() == 0 {
+			e.rtoTimer.Stop()
+			e.rto = e.clampRTO(e.computeRTO())
+		} else {
+			e.rtoTimer.Reset(e.rto)
+		}
+		e.trySend()
+		return
+	}
+	if pureAck && ack == e.sndUna && e.Outstanding() > 0 {
+		e.dupAcks++
+		e.Stats.DupAcksRecvd++
+		if e.dupAcks == e.cfg.DupAckThreshold {
+			// Fast retransmit + fast recovery entry.
+			e.Stats.FastRetransmits++
+			flight := float64(e.Outstanding())
+			e.ssthresh = maxf(flight/2, float64(2*e.cfg.MSS))
+			e.cwnd = e.ssthresh + float64(e.cfg.DupAckThreshold*e.cfg.MSS)
+			e.retransmitHead()
+			e.rtoTimer.Reset(e.rto)
+		}
+	}
+}
+
+// handleData processes inbound payload and acknowledges.
+func (e *Endpoint) handleData(seq uint32, payload []byte) {
+	switch {
+	case seq == e.rcvNxt:
+		e.deliver(payload)
+		e.drainHeld()
+		e.sendAck(false)
+	case seqLess(e.rcvNxt, seq):
+		// Out of order: hold and send a duplicate ACK.
+		if _, ok := e.held[seq]; !ok {
+			cp := make([]byte, len(payload))
+			copy(cp, payload)
+			e.held[seq] = cp
+		}
+		e.Stats.DupAcksSent++
+		e.sendAck(true)
+	default:
+		// Old or overlapping segment.
+		end := seq + uint32(len(payload))
+		if seqLess(e.rcvNxt, end) {
+			e.deliver(payload[e.rcvNxt-seq:])
+			e.drainHeld()
+		}
+		e.sendAck(false)
+	}
+}
+
+func (e *Endpoint) deliver(b []byte) {
+	e.rcvNxt += uint32(len(b))
+	if e.app != nil {
+		e.app(b)
+	}
+}
+
+func (e *Endpoint) drainHeld() {
+	for {
+		advanced := false
+		for seq, b := range e.held {
+			end := seq + uint32(len(b))
+			if seqLEQ(end, e.rcvNxt) {
+				delete(e.held, seq)
+				advanced = true
+				continue
+			}
+			if seqLEQ(seq, e.rcvNxt) {
+				e.deliver(b[e.rcvNxt-seq:])
+				delete(e.held, seq)
+				advanced = true
+			}
+		}
+		if !advanced {
+			return
+		}
+	}
+}
+
+// sendAck emits a pure ACK; dup marks it as a duplicate for stats
+// only (the wire format is identical).
+func (e *Endpoint) sendAck(dup bool) {
+	_ = dup
+	e.emit(e.sndNxt, nil, false)
+}
+
+// updateRTT folds one sample into SRTT/RTTVAR (RFC 6298).
+func (e *Endpoint) updateRTT(sample time.Duration) {
+	if sample <= 0 {
+		return
+	}
+	if e.srtt == 0 {
+		e.srtt = sample
+		e.rttvar = sample / 2
+	} else {
+		diff := e.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		e.rttvar = (3*e.rttvar + diff) / 4
+		e.srtt = (7*e.srtt + sample) / 8
+	}
+	e.rto = e.clampRTO(e.computeRTO())
+}
+
+func (e *Endpoint) computeRTO() time.Duration {
+	if e.srtt == 0 {
+		return e.cfg.RTOInit
+	}
+	return e.srtt + 4*e.rttvar
+}
+
+func (e *Endpoint) clampRTO(d time.Duration) time.Duration {
+	if d < e.cfg.RTOMin {
+		return e.cfg.RTOMin
+	}
+	if d > e.cfg.RTOMax {
+		return e.cfg.RTOMax
+	}
+	return d
+}
+
+// SRTT returns the smoothed RTT estimate (zero before any sample).
+func (e *Endpoint) SRTT() time.Duration { return e.srtt }
+
+// RTO returns the current retransmission timeout.
+func (e *Endpoint) RTO() time.Duration { return e.rto }
+
+// BackoffRTO multiplies the RTO, modelling the client stack raising
+// its timeout after an HTTP/2 stream reset on a lossy channel
+// (paper section IV-D).
+func (e *Endpoint) BackoffRTO(factor int) {
+	if factor < 1 {
+		return
+	}
+	e.rto = e.clampRTO(e.rto * time.Duration(factor))
+}
+
+func seqLess(a, b uint32) bool { return int32(a-b) < 0 }
+func seqLEQ(a, b uint32) bool  { return int32(a-b) <= 0 }
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Conn couples two endpoints across a netem.Path.
+type Conn struct {
+	Client *Endpoint
+	Server *Endpoint
+	Path   *netem.Path
+}
+
+// NewConn builds a client and server endpoint joined by a path with
+// the given ambient configuration. clientApp and serverApp receive
+// each side's ordered inbound bytes.
+func NewConn(s *sim.Simulator, pathCfg netem.PathConfig, tcpCfg Config, clientApp, serverApp func([]byte)) *Conn {
+	c := &Conn{}
+	var path *netem.Path
+	path = netem.NewPath(s, pathCfg,
+		func(p *netem.Packet) { c.Client.HandlePacket(p) },
+		func(p *netem.Packet) { c.Server.HandlePacket(p) },
+	)
+	c.Path = path
+	c.Client = New(s, tcpCfg, "client", path.SendFromClient, clientApp)
+	c.Server = New(s, tcpCfg, "server", path.SendFromServer, serverApp)
+	return c
+}
+
+// Broken reports whether either side has declared the connection
+// broken.
+func (c *Conn) Broken() bool { return c.Client.Broken() || c.Server.Broken() }

@@ -1,0 +1,189 @@
+// Package tlsrec simulates the TLS record layer with size-preserving
+// opacity: plaintext is framed into records with the standard 5-byte
+// cleartext header (content type, version, length) and a fixed
+// per-record ciphertext expansion, and the body is lightly scrambled
+// so nothing downstream can accidentally depend on payload content.
+//
+// This preserves exactly the observables a passive adversary has
+// against real TLS — record boundaries, content types, ciphertext
+// lengths, direction, and timing — which is all the reproduced attack
+// uses. (See DESIGN.md, substitutions table.)
+package tlsrec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// TLS record constants.
+const (
+	// HeaderLen is the cleartext record header size.
+	HeaderLen = 5
+
+	// Overhead is the per-record ciphertext expansion (8-byte explicit
+	// nonce + 16-byte AEAD tag, as in TLS 1.2 AES-GCM).
+	Overhead = 24
+
+	// MaxPlaintext is the largest plaintext fragment per record
+	// (RFC 5246 section 6.2.1).
+	MaxPlaintext = 16384
+
+	// Version is the wire version written into record headers
+	// (TLS 1.2 = 0x0303).
+	Version = 0x0303
+)
+
+// Content types.
+const (
+	TypeChangeCipherSpec uint8 = 20
+	TypeAlert            uint8 = 21
+	TypeHandshake        uint8 = 22
+	TypeAppData          uint8 = 23
+)
+
+// ErrRecordTooLarge is returned when a record header declares a body
+// larger than MaxPlaintext+Overhead.
+var ErrRecordTooLarge = errors.New("tlsrec: record exceeds maximum size")
+
+// scramble applies a fixed involutive byte transform so "ciphertext"
+// differs from plaintext while Seal/Open stay inverses without key
+// state.
+func scramble(dst, src []byte) {
+	for i, b := range src {
+		dst[i] = b ^ 0x5a
+	}
+}
+
+// Sealer frames plaintext into encrypted records.
+type Sealer struct {
+	// MaxPlain caps the plaintext per record; zero means MaxPlaintext.
+	// Real stacks often use smaller fragments; the simulation's server
+	// uses the TCP MSS so record boundaries align with segments.
+	MaxPlain int
+}
+
+func (s *Sealer) maxPlain() int {
+	if s.MaxPlain <= 0 || s.MaxPlain > MaxPlaintext {
+		return MaxPlaintext
+	}
+	return s.MaxPlain
+}
+
+// SealedLen returns the total wire size Seal produces for n plaintext
+// bytes.
+func (s *Sealer) SealedLen(n int) int {
+	mp := s.maxPlain()
+	if n == 0 {
+		return HeaderLen + Overhead
+	}
+	full := n / mp
+	rem := n % mp
+	total := full * (HeaderLen + Overhead + mp)
+	if rem > 0 {
+		total += HeaderLen + Overhead + rem
+	}
+	return total
+}
+
+// Seal appends the record encoding of plaintext (split into fragments
+// of at most MaxPlain) to dst and returns the extended slice. An empty
+// plaintext produces a single empty record.
+func (s *Sealer) Seal(dst []byte, contentType uint8, plaintext []byte) []byte {
+	mp := s.maxPlain()
+	first := true
+	for first || len(plaintext) > 0 {
+		frag := plaintext
+		if len(frag) > mp {
+			frag = frag[:mp]
+		}
+		plaintext = plaintext[len(frag):]
+		bodyLen := len(frag) + Overhead
+		dst = append(dst, contentType, byte(Version>>8), byte(Version&0xff))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(bodyLen))
+		// Explicit nonce placeholder.
+		dst = append(dst, make([]byte, 8)...)
+		off := len(dst)
+		dst = append(dst, frag...)
+		scramble(dst[off:], dst[off:])
+		// AEAD tag placeholder.
+		dst = append(dst, make([]byte, 16)...)
+		first = false
+	}
+	return dst
+}
+
+// Record is one parsed record.
+type Record struct {
+	ContentType uint8
+	// Body is the decrypted plaintext (Opener) or nil (StreamParser).
+	Body []byte
+	// CipherLen is the body length on the wire (including Overhead).
+	CipherLen int
+}
+
+// Opener incrementally parses and decrypts a record stream. Feed
+// arbitrary byte chunks; complete records come out.
+type Opener struct {
+	buf []byte
+}
+
+// Feed appends stream bytes and returns all newly complete records.
+func (o *Opener) Feed(b []byte) ([]Record, error) {
+	o.buf = append(o.buf, b...)
+	var out []Record
+	for {
+		if len(o.buf) < HeaderLen {
+			return out, nil
+		}
+		bodyLen := int(binary.BigEndian.Uint16(o.buf[3:5]))
+		if bodyLen > MaxPlaintext+Overhead {
+			return out, fmt.Errorf("%w: %d", ErrRecordTooLarge, bodyLen)
+		}
+		if bodyLen < Overhead {
+			return out, fmt.Errorf("tlsrec: body %d shorter than overhead", bodyLen)
+		}
+		if len(o.buf) < HeaderLen+bodyLen {
+			return out, nil
+		}
+		ct := o.buf[0]
+		cipher := o.buf[HeaderLen : HeaderLen+bodyLen]
+		plain := make([]byte, bodyLen-Overhead)
+		scramble(plain, cipher[8:8+len(plain)])
+		out = append(out, Record{ContentType: ct, Body: plain, CipherLen: bodyLen})
+		o.buf = o.buf[HeaderLen+bodyLen:]
+	}
+}
+
+// Buffered returns the number of bytes awaiting a complete record.
+func (o *Opener) Buffered() int { return len(o.buf) }
+
+// HeaderInfo is what a passive observer reads from a record header.
+type HeaderInfo struct {
+	ContentType uint8
+	Length      int // ciphertext body length
+}
+
+// StreamParser extracts record headers from a passively observed byte
+// stream without decrypting, the way the paper's tshark monitor does.
+type StreamParser struct {
+	buf []byte
+}
+
+// Feed appends observed bytes and returns headers of all records whose
+// bytes have fully transited.
+func (p *StreamParser) Feed(b []byte) []HeaderInfo {
+	p.buf = append(p.buf, b...)
+	var out []HeaderInfo
+	for {
+		if len(p.buf) < HeaderLen {
+			return out
+		}
+		bodyLen := int(binary.BigEndian.Uint16(p.buf[3:5]))
+		if len(p.buf) < HeaderLen+bodyLen {
+			return out
+		}
+		out = append(out, HeaderInfo{ContentType: p.buf[0], Length: bodyLen})
+		p.buf = p.buf[HeaderLen+bodyLen:]
+	}
+}

@@ -1,0 +1,139 @@
+// Package trace defines the observation records shared by the network
+// simulation, the adversary, and the offline analysis: packets as seen
+// on the wire at a vantage point, TLS records parsed from the byte
+// stream, and ground-truth HTTP/2 frame events emitted by the
+// instrumented endpoints.
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Direction is the side of the client-server path a packet travels.
+// The enum starts at 1 so the zero value is invalid.
+type Direction uint8
+
+const (
+	// ClientToServer carries requests.
+	ClientToServer Direction = iota + 1
+	// ServerToClient carries responses.
+	ServerToClient
+)
+
+// String returns "c->s" or "s->c".
+func (d Direction) String() string {
+	switch d {
+	case ClientToServer:
+		return "c->s"
+	case ServerToClient:
+		return "s->c"
+	default:
+		return fmt.Sprintf("Direction(%d)", uint8(d))
+	}
+}
+
+// Reverse returns the opposite direction.
+func (d Direction) Reverse() Direction {
+	if d == ClientToServer {
+		return ServerToClient
+	}
+	return ClientToServer
+}
+
+// PacketObs is one packet observed at a vantage point (the
+// compromised middlebox). Payload is the TCP payload bytes — for an
+// HTTPS connection these are TLS records, whose 5-byte headers are
+// cleartext; everything inside is opaque.
+type PacketObs struct {
+	Time       time.Duration
+	Dir        Direction
+	Seq        uint32
+	PayloadLen int
+	WireLen    int
+	Retransmit bool
+}
+
+// RecordObs is one TLS record reassembled from the observed TCP byte
+// stream. Only the cleartext header fields are available to an
+// observer.
+type RecordObs struct {
+	Time        time.Duration // time the record's last byte was observed
+	Dir         Direction
+	ContentType uint8
+	Length      int // ciphertext length from the record header
+}
+
+// IsAppData reports whether the record carries application data
+// (TLS content type 23 — the paper's
+// 'ssl.record.content_type==23' display filter).
+func (r RecordObs) IsAppData() bool { return r.ContentType == 23 }
+
+// FrameEvent is ground truth recorded by the instrumented server: one
+// HTTP/2 DATA (or HEADERS) frame handed to the transport, attributed
+// to the object it belongs to. The adversary never sees these; the
+// evaluation harness uses them to score multiplexing and prediction
+// accuracy.
+type FrameEvent struct {
+	Time     time.Duration
+	StreamID uint32
+
+	// ObjectID identifies the website object served; copies created by
+	// duplicate (retransmitted) requests share the ObjectID but have
+	// distinct CopyID values.
+	ObjectID int
+	CopyID   int
+
+	// Len is the frame payload length in bytes.
+	Len int
+
+	// Offset is the byte offset of this frame's first wire byte in
+	// the server's outbound TCP stream; WireLen is the sealed record
+	// size. Together they order ground truth exactly as the bytes
+	// appear on the wire.
+	Offset  int64
+	WireLen int
+
+	// End marks the final frame of this object copy.
+	End bool
+}
+
+// Trace accumulates the three observation kinds for one trial.
+type Trace struct {
+	Packets []PacketObs
+	Records []RecordObs
+	Frames  []FrameEvent
+}
+
+// AddPacket appends a packet observation.
+func (t *Trace) AddPacket(p PacketObs) { t.Packets = append(t.Packets, p) }
+
+// AddRecord appends a TLS record observation.
+func (t *Trace) AddRecord(r RecordObs) { t.Records = append(t.Records, r) }
+
+// AddFrame appends a ground-truth frame event.
+func (t *Trace) AddFrame(f FrameEvent) { t.Frames = append(t.Frames, f) }
+
+// AppDataCount returns the number of application-data records seen in
+// the given direction.
+func (t *Trace) AppDataCount(dir Direction) int {
+	n := 0
+	for _, r := range t.Records {
+		if r.Dir == dir && r.IsAppData() {
+			n++
+		}
+	}
+	return n
+}
+
+// RetransmitCount returns the number of packets flagged as
+// transport-layer retransmissions in the given direction.
+func (t *Trace) RetransmitCount(dir Direction) int {
+	n := 0
+	for _, p := range t.Packets {
+		if p.Dir == dir && p.Retransmit {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDirectionHelpers(t *testing.T) {
+	if ClientToServer.String() != "c->s" || ServerToClient.String() != "s->c" {
+		t.Error("Direction.String broken")
+	}
+	if Direction(9).String() == "" {
+		t.Error("unknown direction must render")
+	}
+	if ClientToServer.Reverse() != ServerToClient || ServerToClient.Reverse() != ClientToServer {
+		t.Error("Reverse broken")
+	}
+}
+
+func TestRecordObsIsAppData(t *testing.T) {
+	if !(RecordObs{ContentType: 23}).IsAppData() {
+		t.Error("content type 23 is app data")
+	}
+	if (RecordObs{ContentType: 22}).IsAppData() {
+		t.Error("content type 22 is not app data")
+	}
+}
+
+func TestTraceAccumulators(t *testing.T) {
+	tr := &Trace{}
+	tr.AddPacket(PacketObs{Time: time.Second, Dir: ClientToServer, PayloadLen: 10, Retransmit: true})
+	tr.AddPacket(PacketObs{Time: 2 * time.Second, Dir: ClientToServer, PayloadLen: 20})
+	tr.AddPacket(PacketObs{Time: 3 * time.Second, Dir: ServerToClient, PayloadLen: 30, Retransmit: true})
+	tr.AddRecord(RecordObs{Dir: ServerToClient, ContentType: 23, Length: 100})
+	tr.AddRecord(RecordObs{Dir: ServerToClient, ContentType: 21, Length: 2})
+	tr.AddRecord(RecordObs{Dir: ClientToServer, ContentType: 23, Length: 50})
+	tr.AddFrame(FrameEvent{ObjectID: 1, Len: 100})
+
+	if len(tr.Packets) != 3 || len(tr.Records) != 3 || len(tr.Frames) != 1 {
+		t.Fatalf("sizes: %d %d %d", len(tr.Packets), len(tr.Records), len(tr.Frames))
+	}
+	if tr.AppDataCount(ServerToClient) != 1 || tr.AppDataCount(ClientToServer) != 1 {
+		t.Error("AppDataCount wrong")
+	}
+	if tr.RetransmitCount(ClientToServer) != 1 || tr.RetransmitCount(ServerToClient) != 1 {
+		t.Error("RetransmitCount wrong")
+	}
+}
