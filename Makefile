@@ -1,0 +1,20 @@
+# Convenience targets; everything is plain go tooling underneath.
+
+.PHONY: ci test bench experiments
+
+# The CI gate: vet + build + race-enabled tests (scripts/ci.sh).
+ci:
+	sh scripts/ci.sh
+
+# The fast tier-1 check.
+test:
+	go build ./... && go test ./...
+
+# Experiment sweeps as custom bench metrics + substrate micro-benches.
+bench:
+	go test -bench=. -benchmem
+
+# Regenerate the reference run recorded in experiments_output.txt
+# (deterministic: identical at any -j; see EXPERIMENTS.md).
+experiments:
+	go run ./cmd/h2attack -all -trials 100 -seed 1 -progress > experiments_output.txt

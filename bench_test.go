@@ -10,6 +10,11 @@ package repro
 // both regenerates the results and tracks the simulator's own cost.
 // The formatted tables (the exact rows the paper prints) come from
 // cmd/h2attack; EXPERIMENTS.md records a reference run.
+//
+// Sweep benches run their trials through internal/runner's worker
+// pool (GOMAXPROCS workers, like cmd/h2attack's default -j) and
+// report sweep throughput as a trials/s metric; the headline
+// percentages are identical at any worker count.
 
 import (
 	"strconv"
@@ -28,6 +33,16 @@ import (
 // experiment benches. The paper used 100; a smaller default keeps
 // `go test -bench=.` under a few minutes while preserving the shapes.
 const benchTrials = 40
+
+// reportTrialsPerSec attaches the sweep throughput metric to an
+// experiment bench: trialsPerIter simulated page loads ran per
+// iteration (across all configurations of the sweep), fanned over the
+// default worker pool (internal/runner, GOMAXPROCS workers).
+func reportTrialsPerSec(b *testing.B, trialsPerIter int) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(trialsPerIter*b.N)/s, "trials/s")
+	}
+}
 
 // BenchmarkBaselineMultiplexing reproduces the section IV preamble:
 // the default degree of multiplexing of the result HTML (paper: ~98%
@@ -52,6 +67,7 @@ func BenchmarkBaselineMultiplexing(b *testing.B) {
 			b.ReportMetric(100*degSum/float64(mux), "meanDegree%")
 		}
 	}
+	reportTrialsPerSec(b, benchTrials)
 }
 
 // BenchmarkFig1PassiveBaseline reproduces the Figure 1 contrast on a
@@ -73,6 +89,7 @@ func BenchmarkFig1PassiveBaseline(b *testing.B) {
 		}
 		b.ReportMetric(float64(identified)/(2*benchTrials)*100, "passiveIdentified%")
 	}
+	reportTrialsPerSec(b, benchTrials)
 }
 
 // BenchmarkDelayNoEffect reproduces the section IV-A control: uniform
@@ -83,6 +100,7 @@ func BenchmarkDelayNoEffect(b *testing.B) {
 		b.ReportMetric(rows[0].NotMultiplexedPct, "clean%@0ms")
 		b.ReportMetric(rows[len(rows)-1].NotMultiplexedPct, "clean%@100ms")
 	}
+	reportTrialsPerSec(b, 4*benchTrials)
 }
 
 // BenchmarkTableIJitter regenerates Table I (jitter sweep).
@@ -94,6 +112,7 @@ func BenchmarkTableIJitter(b *testing.B) {
 			b.ReportMetric(r.NotMultiplexedPct, "clean%@"+itoa(int(ms))+"ms")
 		}
 	}
+	reportTrialsPerSec(b, 4*benchTrials)
 }
 
 // BenchmarkFig5Bandwidth regenerates Figure 5 (bandwidth sweep; the
@@ -106,6 +125,7 @@ func BenchmarkFig5Bandwidth(b *testing.B) {
 			b.ReportMetric(r.SuccessPct, "success%@"+itoa(r.LabelMbps)+"Mbps")
 		}
 	}
+	reportTrialsPerSec(b, 5*(benchTrials/2))
 }
 
 // BenchmarkDropReset regenerates the section IV-D targeted-drop
@@ -117,6 +137,7 @@ func BenchmarkDropReset(b *testing.B) {
 			b.ReportMetric(r.SuccessPct, "success%@"+itoa(int(100*r.DropRate))+"drop")
 		}
 	}
+	reportTrialsPerSec(b, 4*benchTrials)
 }
 
 // BenchmarkTableIIAttack regenerates Table II (full-attack prediction
@@ -129,6 +150,7 @@ func BenchmarkTableIIAttack(b *testing.B) {
 		b.ReportMetric(res.AllTargets[1], "all%I1")
 		b.ReportMetric(res.AllTargets[8], "all%I8")
 	}
+	reportTrialsPerSec(b, benchTrials)
 }
 
 // --- Ablation benches (DESIGN.md section 5) ---
@@ -295,6 +317,7 @@ func BenchmarkDefenses(b *testing.B) {
 			b.ReportMetric(r.PosAccuracyPct, "posAcc%"+name)
 		}
 	}
+	reportTrialsPerSec(b, 5*(benchTrials/2))
 }
 
 // BenchmarkPairInference measures the paper's section VII "partly

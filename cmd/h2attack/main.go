@@ -12,14 +12,21 @@
 //	h2attack -trial -seed 42    # one verbose full-attack trial
 //
 // Use -trials and -seed to control the sweep size and reproducibility.
+// Sweeps fan their trials across -j worker goroutines (default: all
+// CPUs); the printed tables are identical at every -j because trial
+// seeds derive from the trial index, not the worker. -progress shows
+// a live completion/ETA line on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/runner"
 	"repro/internal/website"
 )
 
@@ -39,40 +46,65 @@ func run() int {
 		trial    = flag.Bool("trial", false, "run one verbose full-attack trial")
 		trials   = flag.Int("trials", 100, "page loads per configuration")
 		seed     = flag.Int64("seed", 1, "base seed (trial i uses seed+i)")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "trial worker goroutines per sweep (1 = serial)")
+		progress = flag.Bool("progress", false, "report sweep completion and ETA on stderr")
 	)
 	flag.Parse()
+
+	// sweepOpts builds the per-sweep execution options: the worker
+	// count plus, with -progress, a stderr ticker. Results do not
+	// depend on either (trial seeds derive from the trial index).
+	sweepOpts := func(name string) []experiment.Option {
+		opts := []experiment.Option{experiment.Workers(*jobs)}
+		if *progress {
+			lastPct := -1
+			opts = append(opts, experiment.OnProgress(func(p runner.Progress) {
+				pct := 100 * p.Completed / p.Total
+				if pct == lastPct && p.Completed < p.Total {
+					return
+				}
+				lastPct = pct
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials (%d%%), eta %v ",
+					name, p.Completed, p.Total, pct, p.Remaining.Round(time.Second))
+				if p.Completed == p.Total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}))
+		}
+		return opts
+	}
 
 	if *all {
 		*table1, *fig5, *drops, *table2, *delay, *defenses = true, true, true, true, true, true
 	}
 	ran := false
 	if *table1 {
-		fmt.Print(experiment.FormatTableI(experiment.TableI(*trials, *seed)))
+		fmt.Print(experiment.FormatTableI(experiment.TableI(*trials, *seed, sweepOpts("table1")...)))
 		fmt.Println()
 		ran = true
 	}
 	if *fig5 {
-		fmt.Print(experiment.FormatFig5(experiment.Fig5(*trials, *seed)))
+		fmt.Print(experiment.FormatFig5(experiment.Fig5(*trials, *seed, sweepOpts("fig5")...)))
 		fmt.Println()
 		ran = true
 	}
 	if *drops {
-		fmt.Print(experiment.FormatDropSweep(experiment.DropSweep(*trials, *seed)))
+		fmt.Print(experiment.FormatDropSweep(experiment.DropSweep(*trials, *seed, sweepOpts("drops")...)))
 		fmt.Println()
 		ran = true
 	}
 	if *table2 {
-		fmt.Print(experiment.FormatTableII(experiment.TableII(*trials, *seed)))
+		fmt.Print(experiment.FormatTableII(experiment.TableII(*trials, *seed, sweepOpts("table2")...)))
 		fmt.Println()
 		ran = true
 	}
 	if *delay {
-		fmt.Print(experiment.FormatDelaySweep(experiment.DelaySweep(*trials, *seed)))
+		fmt.Print(experiment.FormatDelaySweep(experiment.DelaySweep(*trials, *seed, sweepOpts("delay")...)))
 		fmt.Println()
 		ran = true
 	}
 	if *defenses {
-		fmt.Print(experiment.FormatDefenses(experiment.Defenses(*trials, *seed)))
+		fmt.Print(experiment.FormatDefenses(experiment.Defenses(*trials, *seed, sweepOpts("defenses")...)))
 		fmt.Println()
 		ran = true
 	}

@@ -1,8 +1,14 @@
 // Package analysis computes the evaluation metrics of the paper from
 // ground-truth traces: the degree of multiplexing of each transmitted
 // object copy (the fraction of its bytes interleaved with bytes of
-// another transmission in the same TCP stream), completeness, and the
-// clean-copy success criteria used by Tables I/II and Figure 5.
+// another transmission in the same TCP stream, the paper's section II
+// definition), completeness, and the clean-copy success criteria used
+// by Tables I/II and Figure 5.
+//
+// The central type is CopyTransmission — one transmission of one
+// object copy reconstructed from ground-truth frame events — which
+// CopyTransmissions builds from a trace and the Clean*/Degree helpers
+// score, keyed by CopyKey (object, copy number).
 package analysis
 
 import (

@@ -1,13 +1,19 @@
 // Package experiment is the reproduction harness: it runs the
-// paper's experiments trial-by-trial on the simulation stack and
-// prints the same rows and series the paper reports (Table I,
-// Figure 5, the section IV-D drop experiment, and Table II).
+// paper's experiments on the simulation stack and prints the same
+// rows and series the paper reports (Table I, Figure 5, the section
+// IV-A and IV-D experiments, Table II, and the section VII defence
+// evaluation).
 //
 // Every trial is driven by a single seed: the seed determines the
 // survey outcome (party permutation), the client's think time before
 // the result HTML, the ambient network conditions of that session,
 // and all packet-level noise — the variation the paper's ~500
-// volunteer sessions exhibit.
+// volunteer sessions exhibit. RunTrial executes one such page load;
+// the sweep functions (TableI, Fig5, DropSweep, TableII, DelaySweep,
+// Defenses) fan their trials across an internal/runner worker pool
+// (configure with Workers and OnProgress) and, because every trial's
+// seed derives from its trial index, return byte-identical tables at
+// any worker count.
 package experiment
 
 import (

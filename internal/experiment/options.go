@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"repro/internal/runner"
+)
+
+// Option configures how a sweep executes its trials. Options affect
+// scheduling only — the rows a sweep returns are identical at every
+// worker count, because each trial is a pure function of its index
+// (see internal/runner).
+type Option func(*sweepConfig)
+
+type sweepConfig struct {
+	workers    int
+	onProgress func(runner.Progress)
+}
+
+// Workers sets the number of concurrent trial executors for a sweep.
+// Zero or negative selects runtime.GOMAXPROCS(0) (the default); 1
+// runs the trials serially on the calling goroutine.
+func Workers(n int) Option {
+	return func(c *sweepConfig) { c.workers = n }
+}
+
+// OnProgress installs a progress callback, invoked (serialized) after
+// every trial completes across the whole sweep — all configurations
+// of a table share one progress stream, so Remaining estimates the
+// full sweep.
+func OnProgress(f func(runner.Progress)) Option {
+	return func(c *sweepConfig) { c.onProgress = f }
+}
+
+// runTrials executes n trials through the worker pool, building the
+// i-th trial's parameters with mk(i), and returns the results in
+// trial order. A trial that panics is reported as a broken trial
+// (TrialResult{Broken: true}) so a single bad seed cannot kill a
+// sweep; every aggregate already accounts broken trials.
+func runTrials(n int, opts []Option, mk func(i int) TrialParams) []TrialResult {
+	var cfg sweepConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	results, failures := runner.Run(n, runner.Options{
+		Workers:    cfg.workers,
+		OnProgress: cfg.onProgress,
+	}, func(i int) TrialResult {
+		return RunTrial(mk(i))
+	})
+	for _, f := range failures {
+		results[f.Index] = TrialResult{Broken: true}
+	}
+	return results
+}

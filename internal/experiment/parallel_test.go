@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// The worker pool must be invisible in the results: every sweep's
+// rows are a pure function of (trials, seed0), so running the same
+// sweep serially and at 8 workers must produce deeply equal output.
+// Trial counts are small; the 100-trial equivalence is checked on the
+// full CLI output in EXPERIMENTS.md.
+
+func TestSweepsIdenticalAcrossWorkerCounts(t *testing.T) {
+	if s, p := TableI(6, 1, Workers(1)), TableI(6, 1, Workers(8)); !reflect.DeepEqual(s, p) {
+		t.Errorf("TableI differs across worker counts:\nserial:   %+v\nparallel: %+v", s, p)
+	}
+	if s, p := Fig5(3, 1, Workers(1)), Fig5(3, 1, Workers(8)); !reflect.DeepEqual(s, p) {
+		t.Errorf("Fig5 differs across worker counts:\nserial:   %+v\nparallel: %+v", s, p)
+	}
+	if s, p := DropSweep(4, 1, Workers(1)), DropSweep(4, 1, Workers(8)); !reflect.DeepEqual(s, p) {
+		t.Errorf("DropSweep differs across worker counts:\nserial:   %+v\nparallel: %+v", s, p)
+	}
+	if s, p := TableII(8, 1, Workers(1)), TableII(8, 1, Workers(8)); !reflect.DeepEqual(s, p) {
+		t.Errorf("TableII differs across worker counts:\nserial:   %+v\nparallel: %+v", s, p)
+	}
+	if s, p := DelaySweep(4, 1, Workers(1)), DelaySweep(4, 1, Workers(8)); !reflect.DeepEqual(s, p) {
+		t.Errorf("DelaySweep differs across worker counts:\nserial:   %+v\nparallel: %+v", s, p)
+	}
+	if s, p := Defenses(3, 1, Workers(1)), Defenses(3, 1, Workers(8)); !reflect.DeepEqual(s, p) {
+		t.Errorf("Defenses differs across worker counts:\nserial:   %+v\nparallel: %+v", s, p)
+	}
+}
+
+func TestSweepProgressCoversWholeSweep(t *testing.T) {
+	// All configurations of a table share one progress stream: Table I
+	// has 4 jitter values, so Total must be 4*trials, and the stream
+	// must end exactly at completion.
+	var last runner.Progress
+	calls := 0
+	TableI(3, 1, Workers(2), OnProgress(func(p runner.Progress) {
+		last = p
+		calls++
+	}))
+	if calls != 12 {
+		t.Errorf("progress callbacks = %d, want one per trial (12)", calls)
+	}
+	if last.Completed != 12 || last.Total != 12 {
+		t.Errorf("final progress = %d/%d, want 12/12", last.Completed, last.Total)
+	}
+}
+
+func TestZeroTrialSweep(t *testing.T) {
+	// A zero-trial sweep must not panic or hang; rows carry NaN
+	// percentages (0/0) exactly as the serial code always did.
+	rows := TableI(0, 1, Workers(8))
+	if len(rows) != 4 {
+		t.Errorf("zero-trial TableI rows = %d, want 4", len(rows))
+	}
+}

@@ -22,19 +22,21 @@ type TableIRow struct {
 // TableI reproduces the paper's Table I: the effect of inter-request
 // jitter on the result HTML's multiplexing and on retransmission
 // volume. trials page loads per jitter value (the paper used 100).
-func TableI(trials int, seed0 int64) []TableIRow {
+func TableI(trials int, seed0 int64, opts ...Option) []TableIRow {
 	jitters := []time.Duration{0, 25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond}
+	results := runTrials(len(jitters)*trials, opts, func(i int) TrialParams {
+		p := TrialParams{Seed: seed0 + int64(i%trials), Mode: ModeJitter, Spacing: jitters[i/trials]}
+		if p.Spacing == 0 {
+			p.Mode = ModePassive
+		}
+		return p
+	})
 	rows := make([]TableIRow, 0, len(jitters))
 	baseRetrans := 0
 	for ji, j := range jitters {
 		row := TableIRow{Jitter: j}
 		clean := 0
-		for i := 0; i < trials; i++ {
-			p := TrialParams{Seed: seed0 + int64(i), Mode: ModeJitter, Spacing: j}
-			if j == 0 {
-				p.Mode = ModePassive
-			}
-			r := RunTrial(p)
+		for _, r := range results[ji*trials : (ji+1)*trials] {
 			if r.Broken {
 				row.Broken++
 				continue
@@ -96,21 +98,23 @@ const Fig5Scale = 12_500
 // Fig5 reproduces Figure 5: bandwidth limitation (with 50ms request
 // spacing active, extending the section IV-B setup) versus
 // retransmissions and success cases.
-func Fig5(trials int, seed0 int64) []Fig5Row {
+func Fig5(trials int, seed0 int64, opts ...Option) []Fig5Row {
 	labels := []int{1000, 800, 500, 100, 1}
+	results := runTrials(len(labels)*trials, opts, func(i int) TrialParams {
+		return TrialParams{
+			Seed:      seed0 + int64(i%trials),
+			Mode:      ModeJitterThrottle,
+			Spacing:   50 * time.Millisecond,
+			Bandwidth: int64(labels[i/trials]) * Fig5Scale,
+			TimeLimit: 45 * time.Second,
+		}
+	})
 	rows := make([]Fig5Row, 0, len(labels))
-	for _, label := range labels {
+	for li, label := range labels {
 		bw := int64(label) * Fig5Scale
 		row := Fig5Row{LabelMbps: label, Bandwidth: bw}
 		succ, orig := 0, 0
-		for i := 0; i < trials; i++ {
-			r := RunTrial(TrialParams{
-				Seed:      seed0 + int64(i),
-				Mode:      ModeJitterThrottle,
-				Spacing:   50 * time.Millisecond,
-				Bandwidth: bw,
-				TimeLimit: 45 * time.Second,
-			})
+		for _, r := range results[li*trials : (li+1)*trials] {
 			if r.Broken || !r.PageComplete {
 				// The paper reports the sub-1Mbps regime as a broken
 				// connection; a page load that cannot finish is the
@@ -171,19 +175,21 @@ type DropRow struct {
 // (with jitter and the 800 Mbps throttle applied) forcing HTTP/2
 // stream resets. The paper reports ~90% success at an 80% drop rate
 // and a broken connection beyond it.
-func DropSweep(trials int, seed0 int64) []DropRow {
+func DropSweep(trials int, seed0 int64, opts ...Option) []DropRow {
 	rates := []float64{0, 0.4, 0.8, 0.95}
+	results := runTrials(len(rates)*trials, opts, func(i int) TrialParams {
+		cfg := core.PaperAttack()
+		cfg.DropRate = rates[i/trials]
+		if cfg.DropRate == 0 {
+			cfg.DropDuration = time.Millisecond // phases advance, drops are moot
+		}
+		return TrialParams{Seed: seed0 + int64(i%trials), Mode: ModeFullAttack, Attack: cfg}
+	})
 	rows := make([]DropRow, 0, len(rates))
-	for _, rate := range rates {
+	for ri, rate := range rates {
 		row := DropRow{DropRate: rate}
 		succ, resets := 0, 0
-		for i := 0; i < trials; i++ {
-			cfg := core.PaperAttack()
-			cfg.DropRate = rate
-			if rate == 0 {
-				cfg.DropDuration = time.Millisecond // phases advance, drops are moot
-			}
-			r := RunTrial(TrialParams{Seed: seed0 + int64(i), Mode: ModeFullAttack, Attack: cfg})
+		for _, r := range results[ri*trials : (ri+1)*trials] {
 			if r.Broken {
 				row.Broken++
 				continue
@@ -238,13 +244,15 @@ type TableIIResult struct {
 }
 
 // TableII reproduces the paper's Table II with the composed attack.
-func TableII(trials int, seed0 int64) TableIIResult {
+func TableII(trials int, seed0 int64, opts ...Option) TableIIResult {
 	res := TableIIResult{Trials: trials}
 	var single, all [1 + website.PartyCount]int
 	gapsPrev := make([][]time.Duration, 1+website.PartyCount)
 	gapsNext := make([][]time.Duration, 1+website.PartyCount)
-	for i := 0; i < trials; i++ {
-		r := RunTrial(TrialParams{Seed: seed0 + int64(i), Mode: ModeFullAttack})
+	results := runTrials(trials, opts, func(i int) TrialParams {
+		return TrialParams{Seed: seed0 + int64(i), Mode: ModeFullAttack}
+	})
+	for _, r := range results {
 		if r.Broken {
 			res.Broken++
 		}
@@ -358,13 +366,15 @@ type DelayRow struct {
 // increase inter-arrival spacing, so it gives the adversary nothing
 // (the paper rejects it as an attack knob; in the simulation extra
 // delay actually deepens multiplexing by slowing the drain).
-func DelaySweep(trials int, seed0 int64) []DelayRow {
+func DelaySweep(trials int, seed0 int64, opts ...Option) []DelayRow {
 	delays := []time.Duration{0, 25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond}
+	results := runTrials(len(delays)*trials, opts, func(i int) TrialParams {
+		return TrialParams{Seed: seed0 + int64(i%trials), Mode: ModePassive, UniformDelay: delays[i/trials]}
+	})
 	rows := make([]DelayRow, 0, len(delays))
-	for _, d := range delays {
+	for di, d := range delays {
 		clean := 0
-		for i := 0; i < trials; i++ {
-			r := RunTrial(TrialParams{Seed: seed0 + int64(i), Mode: ModePassive, UniformDelay: d})
+		for _, r := range results[di*trials : (di+1)*trials] {
 			if r.HTMLCleanAny {
 				clean++
 			}
@@ -401,7 +411,7 @@ type DefenseRow struct {
 // against the full composed attack: requesting the emblem images in a
 // fixed canonical order (so the request sequence carries no secret),
 // padding all object sizes to 4 KiB buckets, and both together.
-func Defenses(trials int, seed0 int64) []DefenseRow {
+func Defenses(trials int, seed0 int64, opts ...Option) []DefenseRow {
 	configs := []struct {
 		name      string
 		canonical bool
@@ -414,17 +424,20 @@ func Defenses(trials int, seed0 int64) []DefenseRow {
 		{"pad to 4KiB", false, 4096, false},
 		{"order + padding", true, 4096, false},
 	}
+	results := runTrials(len(configs)*trials, opts, func(i int) TrialParams {
+		cfg := configs[i/trials]
+		return TrialParams{
+			Seed:           seed0 + int64(i%trials),
+			Mode:           ModeFullAttack,
+			CanonicalOrder: cfg.canonical,
+			PadBucket:      cfg.pad,
+			PushEmblems:    cfg.push,
+		}
+	})
 	rows := make([]DefenseRow, 0, len(configs))
-	for _, cfg := range configs {
+	for ci, cfg := range configs {
 		htmlOK, posOK := 0, 0
-		for i := 0; i < trials; i++ {
-			r := RunTrial(TrialParams{
-				Seed:           seed0 + int64(i),
-				Mode:           ModeFullAttack,
-				CanonicalOrder: cfg.canonical,
-				PadBucket:      cfg.pad,
-				PushEmblems:    cfg.push,
-			})
+		for _, r := range results[ci*trials : (ci+1)*trials] {
 			if r.HTMLSuccess() {
 				htmlOK++
 			}

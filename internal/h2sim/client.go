@@ -1,6 +1,7 @@
 package h2sim
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/h2"
@@ -293,7 +294,7 @@ func (c *Client) OnTCPRetransmit(seqStart, seqEnd uint32) {
 	if c.cfg.DisableReRequest {
 		return
 	}
-	for _, st := range c.streams {
+	for _, st := range c.streamsByID() {
 		if st.reRequested || st.done || st.closed {
 			continue
 		}
@@ -435,6 +436,20 @@ func (c *Client) closeStream(st *clientStream) {
 	delete(c.streams, st.id)
 }
 
+// streamsByID snapshots the open streams in ascending stream-id
+// order. Every walk that has side effects (re-issuing requests,
+// emitting RST_STREAM frames) must use this instead of ranging over
+// the map: map order would make the wire bytes — and therefore whole
+// trials — vary from run to run under the same seed.
+func (c *Client) streamsByID() []*clientStream {
+	out := make([]*clientStream, 0, len(c.streams))
+	for _, st := range c.streams {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
 // onStall handles a stream whose response made no progress within the
 // stall timeout: the client re-requests the object ("fast-retransmit"
 // behaviour the paper describes), and on persistent failure resets
@@ -483,11 +498,7 @@ func (c *Client) onStall(st *clientStream) {
 func (c *Client) resetAll() {
 	c.Stats.Resets++
 	var frames []byte
-	var open []*clientStream
-	for _, st := range c.streams {
-		open = append(open, st)
-	}
-	for _, st := range open {
+	for _, st := range c.streamsByID() {
 		frames = h2.AppendFrame(frames, &h2.RSTStreamFrame{
 			StreamID: st.id, Code: h2.ErrCodeCancel,
 		})

@@ -11,6 +11,12 @@
 // genuine HPACK header blocks, sealed into TLS records and segmented
 // by the TCP simulation — so the adversary observes exactly what a
 // real on-path device would.
+//
+// Key types: Session (one page load: site + path + endpoints + ground
+// truth, the unit every experiment trial runs), Server and Client
+// (the endpoint models), and their ServerConfig/ClientConfig knobs
+// (ablation levers; see DESIGN.md section 5). The package models the
+// paper's Apache origin and Chrome client (section V testbed).
 package h2sim
 
 import (

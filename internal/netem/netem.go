@@ -14,10 +14,16 @@
 // packets (the paper's jitter and targeted-drop knobs), and can change
 // the rate of its outgoing links (the paper's bandwidth-throttling
 // knob).
+//
+// Key types: Link (rate/delay/jitter/loss/queue), Path (the four-link
+// topology above), Middlebox (per-direction Interceptor and ByteTap
+// hooks), and Packet. This is the paper's threat model (section III):
+// a compromised gateway — their OpenWrt router — on the client's path.
 package netem
 
 import (
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/sim"
@@ -332,10 +338,19 @@ func (r *reassembler) push(seq uint32, payload []byte) []byte {
 	// Overlapping or exactly next: take the fresh suffix.
 	fresh := append([]byte(nil), payload[r.next-seq:]...)
 	r.next = end
-	// Drain any now-contiguous held segments.
+	// Drain any now-contiguous held segments, visiting them in stream
+	// order (distance from next in sequence space, wrap-safe): map
+	// order would vary run to run, and seeded determinism requires
+	// every observer to behave identically across runs.
 	for {
 		advanced := false
-		for hseq, hp := range r.held {
+		keys := make([]uint32, 0, len(r.held))
+		for hseq := range r.held {
+			keys = append(keys, hseq)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i]-r.next < keys[j]-r.next })
+		for _, hseq := range keys {
+			hp := r.held[hseq]
 			hend := hseq + uint32(len(hp))
 			if seqLEQ(hend, r.next) {
 				delete(r.held, hseq)

@@ -1,0 +1,179 @@
+// Package runner executes batches of independent seeded trials
+// across a worker pool while preserving the deterministic aggregate
+// output of a serial run.
+//
+// Every sweep in this repository (Tables I/II, Figure 5, the §IV-A
+// and §IV-D experiments, the §VII defence evaluation) is N
+// independent single-threaded discrete-event simulations, each driven
+// entirely by its trial index — a trivially parallel workload. Run
+// fans the indices [0,n) across Workers goroutines and collects the
+// results into an index-ordered slice, so downstream aggregation
+// visits trials in exactly the order a serial loop would and produces
+// byte-identical tables at any worker count. Determinism therefore
+// rests on one caller-side rule: a trial's behaviour must be a pure
+// function of its index (derive the seed from the index, never from
+// worker identity or shared state).
+//
+// A panic inside one trial is captured with its stack and reported as
+// a TrialError instead of killing the sweep; the remaining trials
+// still run. Progress (completed count, elapsed, ETA) is reported
+// through an optional callback.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Progress is a snapshot of a running batch, delivered to
+// Options.OnProgress after each trial completes. Callbacks are
+// serialized by the runner (never invoked concurrently).
+type Progress struct {
+	// Completed counts finished trials, including failed ones.
+	Completed int
+	// Failed counts trials that panicked.
+	Failed int
+	// Total is the batch size n.
+	Total int
+	// Elapsed is the wall-clock time since Run started.
+	Elapsed time.Duration
+	// Remaining estimates the wall-clock time left, extrapolating
+	// from the mean per-trial cost so far (0 until one trial is done).
+	Remaining time.Duration
+}
+
+// Options configures a Run.
+type Options struct {
+	// Workers is the number of concurrent trial executors. Zero or
+	// negative means runtime.GOMAXPROCS(0). Workers == 1 runs the
+	// trials inline on the calling goroutine (the serial path).
+	Workers int
+
+	// OnProgress, when non-nil, is invoked after every trial
+	// completion with a consistent snapshot. It runs on a worker
+	// goroutine under the runner's lock; keep it cheap.
+	OnProgress func(Progress)
+}
+
+// TrialError reports a trial that panicked.
+type TrialError struct {
+	// Index is the trial whose function panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *TrialError) Error() string {
+	return fmt.Sprintf("runner: trial %d panicked: %v", e.Index, e.Value)
+}
+
+// Run executes fn(i) for every i in [0,n) across a worker pool and
+// returns the results in index order. Trials that panic leave the
+// zero value of T at their index and are reported in the second
+// return value, ordered by trial index (nil when every trial
+// succeeded). Run itself never panics on a trial failure.
+//
+// fn must treat its index argument as the trial's only identity: with
+// index-derived seeds the returned slice is identical for every
+// worker count.
+func Run[T any](n int, opts Options, fn func(index int) T) ([]T, []*TrialError) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]T, n)
+	st := &state{total: n, start: time.Now(), onProgress: opts.OnProgress}
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			runOne(i, results, st, fn)
+		}
+	} else {
+		// Dispatch by shared counter: workers pull the next index, so
+		// an expensive trial does not stall a fixed stride. Identity
+		// of the pulling worker never reaches fn.
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					st.mu.Lock()
+					i := st.next
+					st.next++
+					st.mu.Unlock()
+					if i >= n {
+						return
+					}
+					runOne(i, results, st, fn)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	sort.Slice(st.failures, func(a, b int) bool { return st.failures[a].Index < st.failures[b].Index })
+	return results, st.failures
+}
+
+// state is the mutable bookkeeping shared by the workers of one Run.
+type state struct {
+	mu         sync.Mutex
+	next       int
+	completed  int
+	failures   []*TrialError
+	total      int
+	start      time.Time
+	onProgress func(Progress)
+}
+
+// runOne executes a single trial with panic capture and updates the
+// shared progress under the lock.
+func runOne[T any](i int, results []T, st *state, fn func(int) T) {
+	failure := protect(i, &results[i], fn)
+
+	st.mu.Lock()
+	st.completed++
+	if failure != nil {
+		st.failures = append(st.failures, failure)
+	}
+	if st.onProgress != nil {
+		p := Progress{
+			Completed: st.completed,
+			Failed:    len(st.failures),
+			Total:     st.total,
+			Elapsed:   time.Since(st.start),
+		}
+		if p.Completed > 0 && p.Completed < p.Total {
+			perTrial := p.Elapsed / time.Duration(p.Completed)
+			p.Remaining = perTrial * time.Duration(p.Total-p.Completed)
+		}
+		st.onProgress(p)
+	}
+	st.mu.Unlock()
+}
+
+// protect runs one trial and converts a panic into a TrialError.
+func protect[T any](i int, out *T, fn func(int) T) (failure *TrialError) {
+	defer func() {
+		if v := recover(); v != nil {
+			buf := make([]byte, 64<<10)
+			failure = &TrialError{Index: i, Value: v, Stack: buf[:runtime.Stack(buf, false)]}
+		}
+	}()
+	*out = fn(i)
+	return nil
+}

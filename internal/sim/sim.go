@@ -7,6 +7,12 @@
 // a whole attack trial — hundreds of packets, retransmission timers,
 // jitter distributions — runs deterministically from a single seed and
 // completes in microseconds of real time.
+//
+// Key types: Simulator (clock + event queue + seeded RNG streams) and
+// Timer (a restartable scheduled callback). The package replaces the
+// paper's physical testbed (section V): one Simulator hosts one page
+// load, and every sweep trial owns a private Simulator, which is what
+// lets internal/runner execute trials concurrently without sharing.
 package sim
 
 import (

@@ -6,14 +6,20 @@
 //
 // These are exactly the transport mechanisms the reproduced attack
 // manipulates: jitter-induced reordering triggers dup-ACKs and
-// spurious fast retransmits; bandwidth throttling shrinks the
-// effective window via the congestion response; sustained targeted
-// loss exhausts the retry budget and (one layer up) drives the HTTP/2
-// client to reset its streams.
+// spurious fast retransmits (Table I's retransmission column);
+// bandwidth throttling shrinks the effective window via the
+// congestion response (Figure 5); sustained targeted loss exhausts
+// the retry budget and (one layer up) drives the HTTP/2 client to
+// reset its streams (section IV-D).
+//
+// Key types: Endpoint (one side's send/receive state machine, with
+// retransmit and break callbacks) and Conn (a client/server Endpoint
+// pair wired through a netem.Path).
 package tcpsim
 
 import (
 	"errors"
+	"sort"
 	"time"
 
 	"repro/internal/netem"
@@ -393,7 +399,17 @@ func (e *Endpoint) deliver(b []byte) {
 func (e *Endpoint) drainHeld() {
 	for {
 		advanced := false
-		for seq, b := range e.held {
+		// Visit held segments in stream order (distance from rcvNxt in
+		// sequence space, wrap-safe): the bytes delivered are the same
+		// either way, but map order would vary the app-callback
+		// chunking from run to run and break seeded determinism.
+		keys := make([]uint32, 0, len(e.held))
+		for seq := range e.held {
+			keys = append(keys, seq)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i]-e.rcvNxt < keys[j]-e.rcvNxt })
+		for _, seq := range keys {
+			b := e.held[seq]
 			end := seq + uint32(len(b))
 			if seqLEQ(end, e.rcvNxt) {
 				delete(e.held, seq)

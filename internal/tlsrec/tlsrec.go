@@ -7,7 +7,13 @@
 // This preserves exactly the observables a passive adversary has
 // against real TLS — record boundaries, content types, ciphertext
 // lengths, direction, and timing — which is all the reproduced attack
-// uses. (See DESIGN.md, substitutions table.)
+// uses (the paper's section II primer and its tshark-based monitor,
+// section V). (See DESIGN.md, substitutions table.)
+//
+// Key types: Sealer and Opener (the endpoint halves), Record,
+// HeaderInfo (what a sniffer reads from the 5 cleartext header
+// bytes), and StreamParser (incremental header extraction from a
+// reassembled byte stream, used by core.Monitor).
 package tlsrec
 
 import (

@@ -3,6 +3,12 @@
 // on the wire at a vantage point, TLS records parsed from the byte
 // stream, and ground-truth HTTP/2 frame events emitted by the
 // instrumented endpoints.
+//
+// Key types: PacketObs and RecordObs (what the paper's gateway
+// monitor captures, section V), FrameEvent (server-side ground truth
+// the adversary never sees, used only for scoring, as in the paper's
+// section VI evaluation), and Trace (a trial's full capture, exported
+// by cmd/h2trace).
 package trace
 
 import (
