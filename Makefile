@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain go tooling underneath.
 
-.PHONY: ci test bench experiments
+.PHONY: ci test bench bench-compare check-golden experiments
 
 # The CI gate: vet + build + race-enabled tests (scripts/ci.sh).
 ci:
@@ -14,7 +14,23 @@ test:
 bench:
 	go test -bench=. -benchmem
 
+# Run all benchmarks, write BENCH_PR2.json, and fail on a >10%
+# trials/s regression against the last committed BENCH_*.json
+# (scripts/bench.sh; schema in EXPERIMENTS.md).
+bench-compare:
+	sh scripts/bench.sh
+
+# Determinism gate: regenerate the sweep output and diff it against
+# the committed golden file. Any byte of drift fails.
+check-golden:
+	@tmp=$$(mktemp) && \
+	go run ./cmd/h2attack -all -trials 100 -seed 1 > $$tmp && \
+	diff -u experiments_output.txt $$tmp && \
+	rm -f $$tmp && echo "golden OK"
+
 # Regenerate the reference run recorded in experiments_output.txt
-# (deterministic: identical at any -j; see EXPERIMENTS.md).
+# (deterministic: identical at any -j; see EXPERIMENTS.md). Written to
+# a temp file first so a failed run cannot truncate the golden file.
 experiments:
-	go run ./cmd/h2attack -all -trials 100 -seed 1 -progress > experiments_output.txt
+	go run ./cmd/h2attack -all -trials 100 -seed 1 -progress > experiments_output.txt.tmp
+	mv experiments_output.txt.tmp experiments_output.txt

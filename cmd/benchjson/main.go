@@ -1,0 +1,252 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// structured JSON baseline and gates regressions against a previous
+// baseline.
+//
+// Two modes:
+//
+//	go test -bench=. -benchmem | benchjson -o BENCH_PR2.json
+//	    Parse benchmark lines from stdin and write the JSON baseline.
+//
+//	benchjson -compare -threshold 0.10 OLD.json NEW.json
+//	    Exit non-zero if any sweep benchmark's trials/s throughput in
+//	    NEW dropped more than threshold below OLD. Micro-benchmark
+//	    ns/op and allocs/op changes are reported but informational:
+//	    the committed gate is throughput (see EXPERIMENTS.md).
+//
+// The JSON schema is documented in EXPERIMENTS.md ("Benchmarks & the
+// regression gate").
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	NsPerOp    float64
+	BytesPerOp float64
+	AllocsQty  float64
+	// Metrics holds custom b.ReportMetric values by unit, notably
+	// "trials/s" for the experiment sweeps.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// MarshalJSON flattens the standard units into snake_case fields.
+func (b Benchmark) MarshalJSON() ([]byte, error) {
+	type wire struct {
+		Name        string             `json:"name"`
+		Iterations  int64              `json:"iterations"`
+		NsPerOp     float64            `json:"ns_per_op"`
+		BytesPerOp  float64            `json:"bytes_per_op"`
+		AllocsPerOp float64            `json:"allocs_per_op"`
+		Metrics     map[string]float64 `json:"metrics,omitempty"`
+	}
+	return json.Marshal(wire{b.Name, b.Iterations, b.NsPerOp, b.BytesPerOp, b.AllocsQty, b.Metrics})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (b *Benchmark) UnmarshalJSON(data []byte) error {
+	var w struct {
+		Name        string             `json:"name"`
+		Iterations  int64              `json:"iterations"`
+		NsPerOp     float64            `json:"ns_per_op"`
+		BytesPerOp  float64            `json:"bytes_per_op"`
+		AllocsPerOp float64            `json:"allocs_per_op"`
+		Metrics     map[string]float64 `json:"metrics,omitempty"`
+	}
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*b = Benchmark{w.Name, w.Iterations, w.NsPerOp, w.BytesPerOp, w.AllocsPerOp, w.Metrics}
+	return nil
+}
+
+// Baseline is the file format of BENCH_*.json.
+type Baseline struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse reads `go test -bench` output and extracts benchmark lines
+// plus the environment header.
+func parse(r *bufio.Scanner) (Baseline, error) {
+	var base Baseline
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			base.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			base.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			base.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkX --- FAIL"
+		}
+		b := Benchmark{
+			Name:       cpuSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), ""),
+			Iterations: iters,
+		}
+		// Remaining fields are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return base, fmt.Errorf("bad value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BytesPerOp = val
+			case "allocs/op":
+				b.AllocsQty = val
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		base.Benchmarks = append(base.Benchmarks, b)
+	}
+	sort.Slice(base.Benchmarks, func(i, j int) bool {
+		return base.Benchmarks[i].Name < base.Benchmarks[j].Name
+	})
+	return base, r.Err()
+}
+
+func load(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// compare gates NEW against OLD: any trials/s metric dropping more
+// than threshold fails. Other changes are printed as information.
+func compare(oldPath, newPath string, threshold float64) error {
+	oldB, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newB, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldB.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	var failures []string
+	for _, nb := range newB.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Printf("  new benchmark: %s\n", nb.Name)
+			continue
+		}
+		if oldTPS, ok := ob.Metrics["trials/s"]; ok && oldTPS > 0 {
+			newTPS := nb.Metrics["trials/s"]
+			delta := (newTPS - oldTPS) / oldTPS
+			status := "ok"
+			if newTPS < oldTPS*(1-threshold) {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf(
+					"%s: trials/s %.2f -> %.2f (%.1f%%, limit -%.0f%%)",
+					nb.Name, oldTPS, newTPS, delta*100, threshold*100))
+			}
+			fmt.Printf("  %-28s trials/s %10.2f -> %10.2f  (%+.1f%%) %s\n",
+				nb.Name, oldTPS, newTPS, delta*100, status)
+			continue
+		}
+		if ob.NsPerOp > 0 && nb.NsPerOp > 0 {
+			delta := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+			fmt.Printf("  %-28s ns/op    %10.0f -> %10.0f  (%+.1f%%)  allocs/op %8.0f -> %8.0f\n",
+				nb.Name, ob.NsPerOp, nb.NsPerOp, delta*100, ob.AllocsQty, nb.AllocsQty)
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nthroughput regression beyond %.0f%%:\n", threshold*100)
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed", len(failures))
+	}
+	fmt.Println("benchmark gate OK")
+	return nil
+}
+
+func main() {
+	out := flag.String("o", "", "write parsed baseline JSON to this file (default stdout)")
+	comparePair := flag.Bool("compare", false, "compare two baseline files: benchjson -compare [-threshold F] OLD.json NEW.json")
+	threshold := flag.Float64("threshold", 0.10, "allowed fractional trials/s drop in -compare mode")
+	flag.Parse()
+
+	if *comparePair {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-threshold 0.10] OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := compare(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	base, err := parse(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(base.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(base.Benchmarks))
+}

@@ -1,0 +1,88 @@
+package h2
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFeedIntoMatchesFeed checks the zero-copy scanner emits the same
+// frame sequence as the allocating one, across odd chunk boundaries.
+func TestFeedIntoMatchesFeed(t *testing.T) {
+	var wire []byte
+	wire = AppendFrame(wire, &DataFrame{StreamID: 1, Data: []byte("hello")})
+	wire = AppendFrame(wire, &HeadersFrame{StreamID: 3, BlockFragment: []byte{0x82}, EndHeaders: true})
+	wire = AppendFrame(wire, &DataFrame{StreamID: 1, Data: []byte("world"), EndStream: true, Padded: true, PadLength: 3})
+	wire = AppendFrame(wire, &RSTStreamFrame{StreamID: 3, Code: ErrCodeCancel})
+
+	var ref FrameScanner
+	want, err := ref.Feed(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sc FrameScanner
+	var got []Frame
+	for i := 0; i < len(wire); i += 5 {
+		end := i + 5
+		if end > len(wire) {
+			end = len(wire)
+		}
+		err := sc.FeedInto(wire[i:end], func(f Frame) error {
+			// DATA frames are scratch: snapshot what the test compares.
+			if df, ok := f.(*DataFrame); ok {
+				cp := *df
+				cp.Data = append([]byte(nil), df.Data...)
+				got = append(got, &cp)
+				return nil
+			}
+			got = append(got, f)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sc.Buffered() != 0 {
+		t.Errorf("%d bytes left buffered", sc.Buffered())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("emitted %d frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		wd, wOK := want[i].(*DataFrame)
+		gd, gOK := got[i].(*DataFrame)
+		if wOK != gOK {
+			t.Fatalf("frame %d: type %T vs %T", i, got[i], want[i])
+		}
+		if wOK {
+			if gd.StreamID != wd.StreamID || gd.EndStream != wd.EndStream || !bytes.Equal(gd.Data, wd.Data) {
+				t.Errorf("frame %d: %+v, want %+v", i, gd, wd)
+			}
+			continue
+		}
+		if got[i].Header() != want[i].Header() {
+			t.Errorf("frame %d header: %v, want %v", i, got[i].Header(), want[i].Header())
+		}
+	}
+}
+
+// TestFeedIntoDataZeroAlloc proves DATA frames — the hot frame type
+// in every trial — cost zero allocations through FeedInto.
+func TestFeedIntoDataZeroAlloc(t *testing.T) {
+	wire := AppendFrame(nil, &DataFrame{StreamID: 1, Data: make([]byte, 1400)})
+	var sc FrameScanner
+	emit := func(f Frame) error { return nil }
+	for i := 0; i < 8; i++ {
+		if err := sc.FeedInto(wire, emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := sc.FeedInto(wire, emit); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("FeedInto DATA steady state: %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -168,6 +168,16 @@ type Client struct {
 	refetchQ     []int         // post-reset refetch queue (object IDs)
 	refetchOut   int           // outstanding refetches from the queue
 
+	// Per-request scratch, hoisted so issuing requests and parsing
+	// responses allocate only per-stream state, not per-byte-chunk:
+	// record/frame/header-block build buffers, the streamsByID
+	// snapshot, and the FeedInto callback built once.
+	recBuf   []byte
+	frameBuf []byte
+	blockBuf []byte
+	sbuf     []*clientStream
+	frameCb  func(h2.Frame) error
+
 	// Stats accumulates counters; Requests lists every issued request.
 	Stats    ClientStats
 	Requests []RequestLog
@@ -194,6 +204,10 @@ func NewClient(s *sim.Simulator, cfg ClientConfig, site *website.Site) *Client {
 		o := o
 		c.objects[o.ID] = &objState{obj: o}
 	}
+	c.frameCb = func(f h2.Frame) error {
+		c.handleFrame(f)
+		return nil
+	}
 	return c
 }
 
@@ -206,11 +220,13 @@ func (c *Client) Attach(tcp *tcpsim.Endpoint) {
 	c.writeRecord(settings)
 }
 
+// writeRecord seals plaintext through the recycled record buffer
+// (tcp.Write copies it into the send buffer).
 func (c *Client) writeRecord(plaintext []byte) (start, end uint32) {
-	rec := c.sealer.Seal(nil, tlsrec.TypeAppData, plaintext)
+	c.recBuf = c.sealer.Seal(c.recBuf[:0], tlsrec.TypeAppData, plaintext)
 	start = c.bytesOut
-	c.bytesOut += uint32(len(rec))
-	c.tcp.Write(rec)
+	c.bytesOut += uint32(len(c.recBuf))
+	c.tcp.Write(c.recBuf)
 	return start, c.bytesOut
 }
 
@@ -252,19 +268,19 @@ func (c *Client) issue(objectID int, reissue bool) {
 	copyID := c.copyCounter[objectID]
 	c.copyCounter[objectID]++
 
-	block := c.henc.AppendHeaderBlock(nil, []h2.HeaderField{
+	c.blockBuf = c.henc.AppendHeaderBlock(c.blockBuf[:0], []h2.HeaderField{
 		{Name: ":method", Value: "GET"},
 		{Name: ":scheme", Value: "https"},
 		{Name: ":authority", Value: "www.isidewith.test"},
 		{Name: ":path", Value: os.obj.Path},
 	})
-	frame := h2.MarshalFrame(&h2.HeadersFrame{
+	c.frameBuf = h2.AppendFrame(c.frameBuf[:0], &h2.HeadersFrame{
 		StreamID:      id,
-		BlockFragment: block,
+		BlockFragment: c.blockBuf,
 		EndHeaders:    true,
 		EndStream:     true,
 	})
-	reqStart, reqEnd := c.writeRecord(frame)
+	reqStart, reqEnd := c.writeRecord(c.frameBuf)
 	c.Stats.Requests++
 	c.Requests = append(c.Requests, RequestLog{
 		Time: c.s.Now(), ObjectID: objectID, CopyID: copyID, StreamID: id, ReIssue: reissue,
@@ -312,9 +328,11 @@ func (c *Client) OnTCPRetransmit(seqStart, seqEnd uint32) {
 	}
 }
 
-// OnBytes is the TCP delivery callback.
+// OnBytes is the TCP delivery callback. Records and frames are parsed
+// on recycled scratch (Opener.FeedReuse, FrameScanner.FeedInto);
+// handleFrame never retains frame memory past the call.
 func (c *Client) OnBytes(b []byte) {
-	recs, err := c.opener.Feed(b)
+	recs, err := c.opener.FeedReuse(b)
 	if err != nil {
 		return
 	}
@@ -322,13 +340,7 @@ func (c *Client) OnBytes(b []byte) {
 		if r.ContentType != tlsrec.TypeAppData {
 			continue
 		}
-		frames, err := c.scanner.Feed(r.Body)
-		if err != nil {
-			continue
-		}
-		for _, f := range frames {
-			c.handleFrame(f)
-		}
+		_ = c.scanner.FeedInto(r.Body, c.frameCb)
 	}
 }
 
@@ -440,13 +452,15 @@ func (c *Client) closeStream(st *clientStream) {
 // order. Every walk that has side effects (re-issuing requests,
 // emitting RST_STREAM frames) must use this instead of ranging over
 // the map: map order would make the wire bytes — and therefore whole
-// trials — vary from run to run under the same seed.
+// trials — vary from run to run under the same seed. The returned
+// slice is scratch reused by the next call; no caller nests walks.
 func (c *Client) streamsByID() []*clientStream {
-	out := make([]*clientStream, 0, len(c.streams))
+	out := c.sbuf[:0]
 	for _, st := range c.streams {
 		out = append(out, st)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	c.sbuf = out
 	return out
 }
 
@@ -497,7 +511,7 @@ func (c *Client) onStall(st *clientStream) {
 // grace period — the paper's section IV-D client behaviour.
 func (c *Client) resetAll() {
 	c.Stats.Resets++
-	var frames []byte
+	frames := c.frameBuf[:0]
 	for _, st := range c.streamsByID() {
 		frames = h2.AppendFrame(frames, &h2.RSTStreamFrame{
 			StreamID: st.id, Code: h2.ErrCodeCancel,
@@ -507,6 +521,7 @@ func (c *Client) resetAll() {
 	if len(frames) > 0 {
 		c.writeRecord(frames)
 	}
+	c.frameBuf = frames
 	// The client's TCP stack raises its retransmission timeout in
 	// response to the lossy channel (paper: "The client's TCP also
 	// waits for a longer time before attempting to send

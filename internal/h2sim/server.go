@@ -126,13 +126,25 @@ type Server struct {
 	nextPushID    uint32      // next server-initiated (even) stream id
 	pushedAlready map[string]bool
 
+	// Per-chunk scratch, hoisted so the steady-state transmit path
+	// (worker.step → writeRecord) allocates nothing: record/frame/
+	// header-block build buffers, the synthetic body (content never
+	// varies, only size), a reusable DATA frame value, and the FeedInto
+	// callback built once.
+	recBuf   []byte
+	frameBuf []byte
+	blockBuf []byte
+	zeroBody []byte
+	dataF    h2.DataFrame
+	frameCb  func(h2.Frame) error
+
 	// Stats accumulates counters.
 	Stats ServerStats
 }
 
 // NewServer builds the server for a site. Call Attach before running.
 func NewServer(s *sim.Simulator, cfg ServerConfig, site *website.Site) *Server {
-	return &Server{
+	sv := &Server{
 		s:             s,
 		cfg:           cfg.withDefaults(),
 		site:          site,
@@ -143,6 +155,12 @@ func NewServer(s *sim.Simulator, cfg ServerConfig, site *website.Site) *Server {
 		nextPushID:    2,
 		pushedAlready: make(map[string]bool),
 	}
+	sv.zeroBody = make([]byte, sv.cfg.ChunkPlain)
+	sv.frameCb = func(f h2.Frame) error {
+		sv.handleFrame(f)
+		return nil
+	}
+	return sv
 }
 
 // Attach wires the server to its TCP endpoint and announces SETTINGS.
@@ -156,18 +174,23 @@ func (sv *Server) Attach(tcp *tcpsim.Endpoint) {
 }
 
 // writeRecord seals plaintext into one record and writes it to TCP,
-// returning the record's wire offset and length.
+// returning the record's wire offset and length. The sealed bytes go
+// through a recycled buffer (tcp.Write copies them into its send
+// buffer), so sealing allocates nothing in steady state.
 func (sv *Server) writeRecord(contentType uint8, plaintext []byte) (int64, int) {
-	rec := sv.sealer.Seal(nil, contentType, plaintext)
+	sv.recBuf = sv.sealer.Seal(sv.recBuf[:0], contentType, plaintext)
 	off := sv.offset
-	sv.offset += int64(len(rec))
-	sv.tcp.Write(rec)
-	return off, len(rec)
+	sv.offset += int64(len(sv.recBuf))
+	sv.tcp.Write(sv.recBuf)
+	return off, len(sv.recBuf)
 }
 
 // OnBytes is the TCP delivery callback (ordered inbound byte stream).
+// The record and frame parse paths run on recycled scratch
+// (Opener.FeedReuse, FrameScanner.FeedInto), which is safe because
+// handleFrame never retains frame memory past the call.
 func (sv *Server) OnBytes(b []byte) {
-	recs, err := sv.opener.Feed(b)
+	recs, err := sv.opener.FeedReuse(b)
 	if err != nil {
 		return // corrupted stream: drop silently, TCP sim shouldn't produce this
 	}
@@ -175,13 +198,7 @@ func (sv *Server) OnBytes(b []byte) {
 		if r.ContentType != tlsrec.TypeAppData {
 			continue
 		}
-		frames, err := sv.scanner.Feed(r.Body)
-		if err != nil {
-			continue
-		}
-		for _, f := range frames {
-			sv.handleFrame(f)
-		}
+		_ = sv.scanner.FeedInto(r.Body, sv.frameCb)
 	}
 }
 
@@ -240,7 +257,7 @@ func (sv *Server) handleRequest(f *h2.HeadersFrame) {
 			return
 		}
 	}
-	w := &worker{sv: sv, streamID: f.StreamID, obj: obj, copyID: copyID}
+	w := newWorker(sv, f.StreamID, obj, copyID)
 	sv.workers[f.StreamID] = w
 	sv.s.After(sv.cfg.HeaderDelay, w.sendHeaders)
 	sv.pushFor(obj.Path, f.StreamID)
@@ -261,40 +278,42 @@ func (sv *Server) pushFor(path string, parentStream uint32) {
 		sv.pushedAlready[pushPath] = true
 		promiseID := sv.nextPushID
 		sv.nextPushID += 2
-		block := sv.henc.AppendHeaderBlock(nil, []h2.HeaderField{
+		sv.blockBuf = sv.henc.AppendHeaderBlock(sv.blockBuf[:0], []h2.HeaderField{
 			{Name: ":method", Value: "GET"},
 			{Name: ":scheme", Value: "https"},
 			{Name: ":path", Value: pushPath},
 		})
-		frame := h2.MarshalFrame(&h2.PushPromiseFrame{
+		sv.frameBuf = h2.AppendFrame(sv.frameBuf[:0], &h2.PushPromiseFrame{
 			StreamID:      parentStream,
 			PromiseID:     promiseID,
-			BlockFragment: block,
+			BlockFragment: sv.blockBuf,
 			EndHeaders:    true,
 		})
-		sv.writeRecord(tlsrec.TypeAppData, frame)
+		sv.writeRecord(tlsrec.TypeAppData, sv.frameBuf)
 		copyID := sv.copies[obj.ID]
 		sv.copies[obj.ID]++
-		w := &worker{sv: sv, streamID: promiseID, obj: obj, copyID: copyID}
+		w := newWorker(sv, promiseID, obj, copyID)
 		sv.workers[promiseID] = w
 		sv.s.After(sv.cfg.HeaderDelay, w.sendHeaders)
 	}
 }
 
 func (sv *Server) respondNotFound(streamID uint32) {
-	block := sv.henc.AppendHeaderBlock(nil, []h2.HeaderField{{Name: ":status", Value: "404"}})
-	frame := h2.MarshalFrame(&h2.HeadersFrame{
-		StreamID: streamID, BlockFragment: block, EndHeaders: true, EndStream: true,
-	})
-	sv.writeRecord(tlsrec.TypeAppData, frame)
+	sv.respondBodyless(streamID, "404")
 }
 
 func (sv *Server) respondEmpty(streamID uint32) {
-	block := sv.henc.AppendHeaderBlock(nil, []h2.HeaderField{{Name: ":status", Value: "200"}})
-	frame := h2.MarshalFrame(&h2.HeadersFrame{
-		StreamID: streamID, BlockFragment: block, EndHeaders: true, EndStream: true,
+	sv.respondBodyless(streamID, "200")
+}
+
+// respondBodyless sends a HEADERS-only response through the recycled
+// build buffers.
+func (sv *Server) respondBodyless(streamID uint32, status string) {
+	sv.blockBuf = sv.henc.AppendHeaderBlock(sv.blockBuf[:0], []h2.HeaderField{{Name: ":status", Value: status}})
+	sv.frameBuf = h2.AppendFrame(sv.frameBuf[:0], &h2.HeadersFrame{
+		StreamID: streamID, BlockFragment: sv.blockBuf, EndHeaders: true, EndStream: true,
 	})
-	sv.writeRecord(tlsrec.TypeAppData, frame)
+	sv.writeRecord(tlsrec.TypeAppData, sv.frameBuf)
 }
 
 // serviceInterval draws one per-chunk service time.
@@ -314,6 +333,14 @@ type worker struct {
 	copyID    int
 	sent      int
 	cancelled bool
+	stepFn    func() // w.step, created once: rescheduling allocates no method value
+}
+
+// newWorker constructs a worker with its step callback prebuilt.
+func newWorker(sv *Server, streamID uint32, obj website.Object, copyID int) *worker {
+	w := &worker{sv: sv, streamID: streamID, obj: obj, copyID: copyID}
+	w.stepFn = w.step
+	return w
 }
 
 // sendHeaders emits the response HEADERS record and schedules the
@@ -323,16 +350,16 @@ func (w *worker) sendHeaders() {
 		return
 	}
 	sv := w.sv
-	block := sv.henc.AppendHeaderBlock(nil, []h2.HeaderField{
+	sv.blockBuf = sv.henc.AppendHeaderBlock(sv.blockBuf[:0], []h2.HeaderField{
 		{Name: ":status", Value: "200"},
 		{Name: "content-type", Value: "application/octet-stream"},
 	})
-	frame := h2.MarshalFrame(&h2.HeadersFrame{
+	sv.frameBuf = h2.AppendFrame(sv.frameBuf[:0], &h2.HeadersFrame{
 		StreamID:      w.streamID,
-		BlockFragment: block,
+		BlockFragment: sv.blockBuf,
 		EndHeaders:    true,
 	})
-	off, n := sv.writeRecord(tlsrec.TypeAppData, frame)
+	off, n := sv.writeRecord(tlsrec.TypeAppData, sv.frameBuf)
 	if sv.GroundTruth != nil {
 		sv.GroundTruth.AddFrame(trace.FrameEvent{
 			Time:     sv.s.Now(),
@@ -344,7 +371,7 @@ func (w *worker) sendHeaders() {
 			WireLen:  n,
 		})
 	}
-	sv.s.After(sv.serviceInterval(), w.step)
+	sv.s.After(sv.serviceInterval(), w.stepFn)
 }
 
 // step enqueues one data chunk and reschedules until the object is
@@ -363,7 +390,7 @@ func (w *worker) step() {
 		if retry < 10*time.Millisecond {
 			retry = 10 * time.Millisecond
 		}
-		sv.s.After(retry, w.step)
+		sv.s.After(retry, w.stepFn)
 		return
 	}
 	n := sv.cfg.ChunkPlain
@@ -373,12 +400,13 @@ func (w *worker) step() {
 	end := w.sent+n == w.obj.Size
 	// Synthetic body bytes; content is irrelevant, size is the
 	// side-channel.
-	frame := h2.MarshalFrame(&h2.DataFrame{
+	sv.dataF = h2.DataFrame{
 		StreamID:  w.streamID,
-		Data:      make([]byte, n),
+		Data:      sv.zeroBody[:n],
 		EndStream: end,
-	})
-	off, wlen := sv.writeRecord(tlsrec.TypeAppData, frame)
+	}
+	sv.frameBuf = h2.AppendFrame(sv.frameBuf[:0], &sv.dataF)
+	off, wlen := sv.writeRecord(tlsrec.TypeAppData, sv.frameBuf)
 	w.sent += n
 	sv.Stats.DataFrames++
 	sv.Stats.BytesData += int64(n)
@@ -398,7 +426,7 @@ func (w *worker) step() {
 		delete(sv.workers, w.streamID)
 		return
 	}
-	sv.s.After(sv.serviceInterval(), w.step)
+	sv.s.After(sv.serviceInterval(), w.stepFn)
 }
 
 // ActiveWorkers reports how many object transmissions are in flight.

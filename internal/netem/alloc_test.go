@@ -1,0 +1,112 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestLinkSendZeroAlloc proves the closure-free delivery path: once
+// the event heap has grown, sending pooled packets through a link
+// allocates nothing per packet.
+func TestLinkSendZeroAlloc(t *testing.T) {
+	s := sim.New(1)
+	pool := &PacketPool{}
+	var l *Link
+	l = NewLink(s, LinkConfig{PropDelay: time.Millisecond}, func(p *Packet) { pool.Put(p) })
+	l.SetPool(pool)
+
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			p := pool.Get()
+			p.Payload = append(p.Payload[:0], make([]byte, 0)...)
+			l.Send(p)
+		}
+		s.Run()
+	}
+	send(64) // warm up pool and heap
+
+	allocs := testing.AllocsPerRun(100, func() { send(32) })
+	if allocs != 0 {
+		t.Errorf("Link.Send steady state: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestMiddleboxPathZeroAlloc pushes pooled packets through the full
+// path — two links plus the middlebox with capture and byte tap
+// active — and requires the per-packet cost to stay allocation-free
+// apart from the capture trace's own (amortized) growth.
+func TestMiddleboxPathZeroAlloc(t *testing.T) {
+	s := sim.New(1)
+	var path *Path
+	path = NewPath(s, PathConfig{
+		ClientSide: LinkConfig{PropDelay: time.Millisecond},
+		ServerSide: LinkConfig{PropDelay: time.Millisecond},
+	}, func(p *Packet) { path.Pool.Put(p) }, func(p *Packet) { path.Pool.Put(p) })
+	path.Mbox.Tap = func(trace.Direction, []byte) {}
+
+	seq := uint32(0)
+	payload := make([]byte, 100)
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			p := path.Pool.Get()
+			p.Seq = seq
+			p.Payload = append(p.Payload[:0], payload...)
+			seq += uint32(len(payload))
+			path.SendFromClient(p)
+		}
+		s.Run()
+	}
+	send(64)
+
+	allocs := testing.AllocsPerRun(100, func() { send(16) })
+	if allocs != 0 {
+		t.Errorf("path steady state: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestReassemblerSteadyStateZeroAlloc holds out-of-order segments and
+// drains them repeatedly: held-buffer and scratch recycling must make
+// the loop allocation-free after warm-up.
+func TestReassemblerSteadyStateZeroAlloc(t *testing.T) {
+	var r reassembler
+	seg := make([]byte, 64)
+	next := uint32(0)
+	cycle := func() {
+		// Arrivals 2,3 out of order, then 1 fills the gap.
+		r.push(next+64, seg)
+		r.push(next+128, seg)
+		r.push(next, seg)
+		next += 192
+	}
+	for i := 0; i < 32; i++ {
+		cycle()
+	}
+	allocs := testing.AllocsPerRun(200, cycle)
+	if allocs != 0 {
+		t.Errorf("reassembler steady state: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkLinkSend measures the per-packet scheduling cost through
+// one link.
+func BenchmarkLinkSend(b *testing.B) {
+	s := sim.New(1)
+	pool := &PacketPool{}
+	var l *Link
+	l = NewLink(s, LinkConfig{PropDelay: time.Millisecond}, func(p *Packet) { pool.Put(p) })
+	l.SetPool(pool)
+	payload := make([]byte, 1400)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := pool.Get()
+		p.Payload = append(p.Payload[:0], payload...)
+		l.Send(p)
+		if i%64 == 63 {
+			s.Run()
+		}
+	}
+	s.Run()
+}

@@ -15,15 +15,22 @@
 // the rate of its outgoing links (the paper's bandwidth-throttling
 // knob).
 //
+// The forwarding plane is allocation-free in steady state: packets and
+// their payload buffers are recycled through a per-Path PacketPool,
+// links schedule deliveries with sim.AfterArg instead of per-packet
+// closures, and the middlebox reassemblers hold out-of-order segments
+// in pooled, sorted slices rather than maps (which also removes a
+// per-drain sort).
+//
 // Key types: Link (rate/delay/jitter/loss/queue), Path (the four-link
 // topology above), Middlebox (per-direction Interceptor and ByteTap
-// hooks), and Packet. This is the paper's threat model (section III):
-// a compromised gateway — their OpenWrt router — on the client's path.
+// hooks), Packet, and PacketPool. This is the paper's threat model
+// (section III): a compromised gateway — their OpenWrt router — on the
+// client's path.
 package netem
 
 import (
 	"math/rand"
-	"sort"
 	"time"
 
 	"repro/internal/sim"
@@ -59,6 +66,49 @@ type Packet struct {
 
 // WireLen is the packet's size on the wire including header overhead.
 func (p *Packet) WireLen() int { return len(p.Payload) + HeaderOverhead }
+
+// PacketPool recycles Packets and their payload buffers within one
+// simulated connection. Like everything else on the hot path it
+// belongs to a single Simulator and is not safe for concurrent use.
+// A nil pool is valid: Get falls back to plain allocation and Put
+// becomes a no-op, so standalone links and tests work unchanged.
+type PacketPool struct {
+	free []*Packet
+}
+
+// Get returns a zeroed packet, reusing a previously Put one (and its
+// payload buffer's capacity) when available.
+func (pp *PacketPool) Get() *Packet {
+	if pp != nil {
+		if n := len(pp.free); n > 0 {
+			p := pp.free[n-1]
+			pp.free[n-1] = nil
+			pp.free = pp.free[:n-1]
+			return p
+		}
+	}
+	return &Packet{}
+}
+
+// Len reports how many recycled packets the pool currently holds.
+func (pp *PacketPool) Len() int {
+	if pp == nil {
+		return 0
+	}
+	return len(pp.free)
+}
+
+// Put recycles p: every field is cleared, but the payload buffer's
+// capacity is kept for the next Get. The caller must not touch p (or
+// its payload) afterwards.
+func (pp *PacketPool) Put(p *Packet) {
+	if pp == nil || p == nil {
+		return
+	}
+	payload := p.Payload[:0]
+	*p = Packet{Payload: payload}
+	pp.free = append(pp.free, p)
+}
 
 // Handler consumes delivered packets.
 type Handler func(p *Packet)
@@ -110,6 +160,8 @@ type Link struct {
 	sim         *sim.Simulator
 	cfg         LinkConfig
 	dst         Handler
+	deliverFn   func(any) // reused AfterArg callback: dst(p)
+	pool        *PacketPool
 	nextFree    time.Duration
 	lastArrival time.Duration
 
@@ -119,8 +171,15 @@ type Link struct {
 
 // NewLink returns a link delivering packets to dst.
 func NewLink(s *sim.Simulator, cfg LinkConfig, dst Handler) *Link {
-	return &Link{sim: s, cfg: cfg.withDefaults(), dst: dst}
+	l := &Link{sim: s, cfg: cfg.withDefaults(), dst: dst}
+	l.deliverFn = func(x any) { l.dst(x.(*Packet)) }
+	return l
 }
+
+// SetPool attaches a packet pool so the link can recycle the packets
+// it drops (loss or queue overflow). Delivered packets are the
+// receiver's to release.
+func (l *Link) SetPool(pp *PacketPool) { l.pool = pp }
 
 // SetRate changes the serialization rate (bits per second; zero means
 // infinite). Takes effect for subsequently sent packets.
@@ -147,11 +206,12 @@ func (l *Link) txTime(n int) time.Duration {
 // Send queues p for transmission. The packet is delivered to the
 // link's destination handler after queueing, serialization,
 // propagation, and jitter; or silently dropped by loss or a full
-// queue.
+// queue (dropped packets return to the pool, if one is attached).
 func (l *Link) Send(p *Packet) {
 	now := l.sim.Now()
 	if l.cfg.Loss > 0 && l.sim.Rand().Float64() < l.cfg.Loss {
 		l.Stats.DroppedLoss++
+		l.pool.Put(p)
 		return
 	}
 	start := now
@@ -160,6 +220,7 @@ func (l *Link) Send(p *Packet) {
 	}
 	if start-now > l.cfg.MaxQueueDelay {
 		l.Stats.DroppedQueue++
+		l.pool.Put(p)
 		return
 	}
 	tx := l.txTime(p.WireLen())
@@ -176,8 +237,7 @@ func (l *Link) Send(p *Packet) {
 	l.lastArrival = arrival
 	l.Stats.Sent++
 	l.Stats.Bytes += int64(p.WireLen())
-	dst := l.dst
-	l.sim.After(delay, func() { dst(p) })
+	l.sim.AfterArg(delay, l.deliverFn, p)
 }
 
 // UniformJitter returns a jitter function drawing uniformly from
@@ -220,11 +280,14 @@ func Drop() Decision { return Decision{Action: ActDrop} }
 func Delay(d time.Duration) Decision { return Decision{Action: ActDelay, Delay: d} }
 
 // Interceptor inspects each packet transiting the middlebox and
-// decides its fate. It runs on the simulator goroutine.
+// decides its fate. It runs on the simulator goroutine and must not
+// retain the packet beyond the call.
 type Interceptor func(dir trace.Direction, p *Packet) Decision
 
 // ByteTap receives the reassembled in-order TCP payload byte stream
-// of one direction, as a passive observer would reconstruct it.
+// of one direction, as a passive observer would reconstruct it. The
+// slice is scratch owned by the middlebox: copy it if it must survive
+// the call.
 type ByteTap func(dir trace.Direction, b []byte)
 
 // Middlebox is the compromised on-path device: it observes every
@@ -232,7 +295,9 @@ type ByteTap func(dir trace.Direction, b []byte)
 // the interceptor verdict, and forwards survivors to the outgoing
 // link of the packet's direction.
 type Middlebox struct {
-	sim *sim.Simulator
+	sim       *sim.Simulator
+	forwardFn func(any) // reused AfterArg callback for delayed packets
+	pool      *PacketPool
 
 	outC2S *Link // toward the server
 	outS2C *Link // toward the client
@@ -257,7 +322,24 @@ type Middlebox struct {
 
 // NewMiddlebox wires a middlebox to its two outgoing links.
 func NewMiddlebox(s *sim.Simulator, toServer, toClient *Link) *Middlebox {
-	return &Middlebox{sim: s, outC2S: toServer, outS2C: toClient}
+	m := &Middlebox{sim: s, outC2S: toServer, outS2C: toClient}
+	m.forwardFn = func(x any) {
+		p := x.(*Packet)
+		m.linkFor(p.Dir).Send(p)
+	}
+	return m
+}
+
+// SetPool attaches a packet pool so the middlebox can recycle packets
+// the interceptor drops.
+func (m *Middlebox) SetPool(pp *PacketPool) { m.pool = pp }
+
+// linkFor returns the outgoing link for a direction.
+func (m *Middlebox) linkFor(dir trace.Direction) *Link {
+	if dir == trace.ServerToClient {
+		return m.outS2C
+	}
+	return m.outC2S
 }
 
 // HandlePacket is the middlebox's link-delivery entry point.
@@ -288,86 +370,117 @@ func (m *Middlebox) HandlePacket(p *Packet) {
 	if m.Interceptor != nil {
 		dec = m.Interceptor(p.Dir, p)
 	}
-	out := m.outC2S
-	if p.Dir == trace.ServerToClient {
-		out = m.outS2C
-	}
 	switch dec.Action {
 	case ActDrop:
 		m.Stats.Dropped++
+		m.pool.Put(p)
 	case ActDelay:
 		m.Stats.Delayed++
-		m.sim.After(dec.Delay, func() { out.Send(p) })
+		m.sim.AfterArg(dec.Delay, m.forwardFn, p)
 	default:
 		m.Stats.Passed++
-		out.Send(p)
+		m.linkFor(p.Dir).Send(p)
 	}
+}
+
+// heldSeg is one out-of-order segment waiting for its gap to fill.
+type heldSeg struct {
+	seq uint32
+	buf []byte
 }
 
 // reassembler rebuilds an in-order byte stream from possibly
 // out-of-order, duplicated TCP segments, the way a passive sniffer
-// does.
+// does. Held segments live in a slice kept sorted by sequence-space
+// distance from the next expected byte (wrap-safe), so draining needs
+// no per-call sort and no map iteration; hold buffers and the
+// contiguous-bytes scratch are recycled across pushes.
 type reassembler struct {
 	next    uint32
 	started bool
-	held    map[uint32][]byte // future segments keyed by start seq
+	held    []heldSeg // sorted ascending by (seq - next)
+	spare   [][]byte  // recycled hold buffers
+	scratch []byte    // reusable contiguous-bytes buffer handed out by push
 }
 
 // push ingests one segment and returns any newly contiguous bytes.
+// The returned slice is scratch, valid only until the next push.
 func (r *reassembler) push(seq uint32, payload []byte) []byte {
 	if !r.started {
 		r.next = seq
 		r.started = true
-	}
-	if r.held == nil {
-		r.held = make(map[uint32][]byte)
 	}
 	end := seq + uint32(len(payload))
 	if seqLEQ(end, r.next) {
 		return nil // pure duplicate
 	}
 	if seqLess(r.next, seq) {
-		// Future segment: hold (keep the longest copy for the slot).
-		if old, ok := r.held[seq]; !ok || len(payload) > len(old) {
-			cp := make([]byte, len(payload))
-			copy(cp, payload)
-			r.held[seq] = cp
-		}
+		r.hold(seq, payload)
 		return nil
 	}
-	// Overlapping or exactly next: take the fresh suffix.
-	fresh := append([]byte(nil), payload[r.next-seq:]...)
+	// Overlapping or exactly next: take the fresh suffix, then drain
+	// any now-contiguous held segments in stream order.
+	fresh := append(r.scratch[:0], payload[r.next-seq:]...)
 	r.next = end
-	// Drain any now-contiguous held segments, visiting them in stream
-	// order (distance from next in sequence space, wrap-safe): map
-	// order would vary run to run, and seeded determinism requires
-	// every observer to behave identically across runs.
-	for {
-		advanced := false
-		keys := make([]uint32, 0, len(r.held))
-		for hseq := range r.held {
-			keys = append(keys, hseq)
+	for len(r.held) > 0 {
+		h := r.held[0]
+		hend := h.seq + uint32(len(h.buf))
+		if seqLEQ(hend, r.next) {
+			r.dropHead() // fully superseded
+			continue
 		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i]-r.next < keys[j]-r.next })
-		for _, hseq := range keys {
-			hp := r.held[hseq]
-			hend := hseq + uint32(len(hp))
-			if seqLEQ(hend, r.next) {
-				delete(r.held, hseq)
-				advanced = true
-				continue
-			}
-			if seqLEQ(hseq, r.next) {
-				fresh = append(fresh, hp[r.next-hseq:]...)
-				r.next = hend
-				delete(r.held, hseq)
-				advanced = true
-			}
+		if seqLess(r.next, h.seq) {
+			break // gap remains
 		}
-		if !advanced {
-			return fresh
-		}
+		fresh = append(fresh, h.buf[r.next-h.seq:]...)
+		r.next = hend
+		r.dropHead()
 	}
+	r.scratch = fresh
+	return fresh
+}
+
+// hold files a future segment in sorted position, keeping the longest
+// copy for a duplicated slot (the same rule the map version applied).
+func (r *reassembler) hold(seq uint32, payload []byte) {
+	d := seq - r.next
+	i := 0
+	for i < len(r.held) && r.held[i].seq-r.next < d {
+		i++
+	}
+	if i < len(r.held) && r.held[i].seq == seq {
+		if len(payload) > len(r.held[i].buf) {
+			r.held[i].buf = append(r.held[i].buf[:0], payload...)
+		}
+		return
+	}
+	buf := append(r.getSpare(), payload...)
+	r.held = append(r.held, heldSeg{})
+	copy(r.held[i+1:], r.held[i:])
+	r.held[i] = heldSeg{seq: seq, buf: buf}
+}
+
+// dropHead removes the first held segment, recycling its buffer.
+func (r *reassembler) dropHead() {
+	buf := r.held[0].buf
+	n := len(r.held)
+	copy(r.held, r.held[1:])
+	r.held[n-1] = heldSeg{}
+	r.held = r.held[:n-1]
+	if buf != nil {
+		r.spare = append(r.spare, buf[:0])
+	}
+}
+
+// getSpare returns a recycled zero-length hold buffer, or nil.
+func (r *reassembler) getSpare() []byte {
+	if n := len(r.spare); n > 0 {
+		b := r.spare[n-1]
+		r.spare[n-1] = nil
+		r.spare = r.spare[:n-1]
+		return b
+	}
+	return nil
 }
 
 // seqLess is modular 32-bit sequence comparison (RFC 793 style).
@@ -384,6 +497,12 @@ type Path struct {
 	// LinkC2M and LinkS2M feed the middlebox; LinkM2S and LinkM2C are
 	// its outgoing links (whose rates the adversary throttles).
 	LinkC2M, LinkM2S, LinkS2M, LinkM2C *Link
+
+	// Pool recycles packets flowing through the path. Endpoints draw
+	// their transmit packets from it and release inbound packets back
+	// to it after processing; the links and middlebox release what
+	// they drop.
+	Pool *PacketPool
 }
 
 // PathConfig holds the ambient (non-adversarial) link parameters for
@@ -398,16 +517,23 @@ type PathConfig struct {
 // NewPath builds the topology. clientRecv and serverRecv receive
 // packets delivered to the endpoints.
 func NewPath(s *sim.Simulator, cfg PathConfig, clientRecv, serverRecv Handler) *Path {
+	pool := &PacketPool{}
 	toServer := NewLink(s, cfg.ServerSide, serverRecv)
 	toClient := NewLink(s, cfg.ClientSide, clientRecv)
 	mbox := NewMiddlebox(s, toServer, toClient)
-	return &Path{
+	p := &Path{
 		Mbox:    mbox,
 		LinkC2M: NewLink(s, cfg.ClientSide, mbox.HandlePacket),
 		LinkS2M: NewLink(s, cfg.ServerSide, mbox.HandlePacket),
 		LinkM2S: toServer,
 		LinkM2C: toClient,
+		Pool:    pool,
 	}
+	mbox.SetPool(pool)
+	for _, l := range []*Link{p.LinkC2M, p.LinkS2M, p.LinkM2S, p.LinkM2C} {
+		l.SetPool(pool)
+	}
+	return p
 }
 
 // SendFromClient injects a client packet into the path.

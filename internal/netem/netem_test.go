@@ -263,8 +263,11 @@ func TestMiddleboxByteTapReassembly(t *testing.T) {
 }
 
 func TestReassemblerOverlap(t *testing.T) {
+	// push returns scratch valid only until the next push, so the
+	// accumulator must copy each result out.
 	var r reassembler
-	out := r.push(0, []byte("abcd"))
+	var out []byte
+	out = append(out, r.push(0, []byte("abcd"))...)
 	out = append(out, r.push(2, []byte("cdef"))...) // overlaps 2 bytes
 	if string(out) != "abcdef" {
 		t.Errorf("reassembled %q, want abcdef", out)
@@ -273,9 +276,10 @@ func TestReassemblerOverlap(t *testing.T) {
 
 func TestReassemblerWraparound(t *testing.T) {
 	var r reassembler
+	var out []byte
 	start := uint32(0xfffffffe)
-	out := r.push(start, []byte("ab"))            // ends at 0
-	out = append(out, r.push(0, []byte("cd"))...) // wraps
+	out = append(out, r.push(start, []byte("ab"))...) // ends at 0
+	out = append(out, r.push(0, []byte("cd"))...)     // wraps
 	if string(out) != "abcd" {
 		t.Errorf("reassembled %q, want abcd", out)
 	}

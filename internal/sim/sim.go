@@ -8,6 +8,15 @@
 // jitter distributions — runs deterministically from a single seed and
 // completes in microseconds of real time.
 //
+// The event queue is engineered to stay off the garbage collector's
+// books: events are stored by value in a slice-backed binary heap (no
+// per-event allocation, no container/heap interface boxing), timers
+// schedule themselves without closures, and AfterArg carries a payload
+// pointer through the queue so packet delivery needs no per-packet
+// closure either. In steady state — once the heap slice has grown to
+// the simulation's high-water mark — At, After, AfterArg, and
+// Timer.Reset allocate zero bytes (see sim_alloc_test.go).
+//
 // Key types: Simulator (clock + event queue + seeded RNG streams) and
 // Timer (a restartable scheduled callback). The package replaces the
 // paper's physical testbed (section V): one Simulator hosts one page
@@ -16,39 +25,34 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
 )
 
-// event is one scheduled callback.
+// event is one scheduled callback, stored by value in the heap.
+// Exactly one of the three dispatch forms is used: fn (a plain
+// closure), pfn+parg (a closure-free callback with argument), or
+// timer+gen (a Timer firing, validated against the timer's current
+// generation at dispatch time).
 type event struct {
-	at  time.Duration
-	seq uint64 // tie-breaker: FIFO among same-time events
-	fn  func()
+	at    time.Duration
+	seq   uint64 // tie-breaker: FIFO among same-time events
+	fn    func()
+	pfn   func(any)
+	parg  any
+	timer *Timer
+	gen   uint64
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (at, seq) — the same total order the
+// original pointer-heap used, so pop order (and therefore every
+// simulation result) is unchanged by the by-value layout.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Simulator is a single-threaded discrete-event scheduler. It is not
@@ -56,7 +60,7 @@ func (h *eventHeap) Pop() any {
 // goroutine inside Run.
 type Simulator struct {
 	now    time.Duration
-	events eventHeap
+	events []event // binary min-heap ordered by (at, seq)
 	seq    uint64
 	rng    *rand.Rand
 
@@ -83,6 +87,52 @@ func (s *Simulator) Rand() *rand.Rand { return s.rng }
 // Steps reports how many events have executed.
 func (s *Simulator) Steps() uint64 { return s.steps }
 
+// push inserts e into the heap (sift-up). The only allocation is the
+// amortized growth of the backing slice, which stops once the queue
+// reaches its high-water mark.
+func (s *Simulator) push(e event) {
+	s.events = append(s.events, e)
+	h := s.events
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event (sift-down). The vacated
+// tail slot is zeroed so the heap does not pin dead closures.
+func (s *Simulator) pop() event {
+	h := s.events
+	min := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	h = h[:n]
+	s.events = h
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		small := l
+		if r := l + 1; r < n && h[r].before(&h[l]) {
+			small = r
+		}
+		if !h[small].before(&h[i]) {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return min
+}
+
 // At schedules fn at absolute virtual time t. Scheduling in the past
 // runs the event "now" (at the current time, after already-queued
 // same-time events).
@@ -91,7 +141,7 @@ func (s *Simulator) At(t time.Duration, fn func()) {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	s.push(event{at: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn d from now. Negative d behaves like zero.
@@ -102,19 +152,44 @@ func (s *Simulator) After(d time.Duration, fn func()) {
 	s.At(s.now+d, fn)
 }
 
+// AfterArg schedules fn(arg) d from now. Unlike After with a closure
+// over arg, AfterArg allocates nothing per call when fn is a reused
+// func value (typically built once at construction time) and arg is a
+// pointer: the argument rides through the event queue instead of a
+// fresh closure. This is the per-packet scheduling path of
+// internal/netem.
+func (s *Simulator) AfterArg(d time.Duration, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	s.seq++
+	s.push(event{at: s.now + d, seq: s.seq, pfn: fn, parg: arg})
+}
+
 // step executes the earliest pending event and returns false when the
 // queue is empty.
 func (s *Simulator) step() bool {
 	if len(s.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.events).(*event)
+	e := s.pop()
 	s.now = e.at
 	s.steps++
 	if s.MaxSteps != 0 && s.steps > s.MaxSteps {
 		panic(fmt.Sprintf("sim: exceeded %d steps at t=%v", s.MaxSteps, s.now))
 	}
-	e.fn()
+	switch {
+	case e.timer != nil:
+		t := e.timer
+		if t.gen == e.gen && t.set {
+			t.set = false
+			t.fn()
+		}
+	case e.pfn != nil:
+		e.pfn(e.parg)
+	default:
+		e.fn()
+	}
 	return true
 }
 
@@ -143,6 +218,12 @@ func (s *Simulator) RunWhile(cond func() bool) {
 
 // Timer is a restartable one-shot timer bound to a Simulator. The
 // zero value is not usable; construct with NewTimer.
+//
+// A Timer schedules itself directly into the event queue: each Reset
+// pushes a by-value event carrying the timer pointer and its current
+// generation, and stale events (superseded by a later Reset or Stop)
+// are discarded at dispatch time by the generation check. Reset and
+// Stop therefore allocate nothing in steady state.
 type Timer struct {
 	s   *Simulator
 	fn  func()
@@ -157,19 +238,18 @@ func (s *Simulator) NewTimer(fn func()) *Timer {
 }
 
 // Reset (re)arms the timer to fire d from now, cancelling any earlier
-// deadline.
+// deadline. Negative d fires "now", like After.
 func (t *Timer) Reset(d time.Duration) {
 	t.gen++
-	gen := t.gen
-	t.at = t.s.Now() + d
+	s := t.s
+	t.at = s.now + d
 	t.set = true
-	t.s.After(d, func() {
-		if t.gen != gen || !t.set {
-			return
-		}
-		t.set = false
-		t.fn()
-	})
+	at := t.at
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	s.push(event{at: at, seq: s.seq, timer: t, gen: t.gen})
 }
 
 // Stop disarms the timer. It is safe to stop a stopped timer.

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAfterZeroAlloc proves the tentpole property: once the event
+// heap has grown to its high-water mark, scheduling with After (a
+// pre-built callback) allocates zero bytes per event.
+func TestAfterZeroAlloc(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	// Warm up: grow the heap slice past anything the loop needs.
+	for i := 0; i < 64; i++ {
+		s.After(time.Duration(i)*time.Microsecond, fn)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 32; i++ {
+			s.After(time.Duration(i)*time.Microsecond, fn)
+		}
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("After + Run: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAtZeroAlloc covers the absolute-time variant.
+func TestAtZeroAlloc(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		s.At(s.Now(), fn)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 32; i++ {
+			s.At(s.Now()+time.Duration(i), fn)
+		}
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("At + Run: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAfterArgZeroAlloc proves the closure-free argument-carrying
+// path (used for per-packet delivery) stays allocation-free when the
+// callback is reused and the argument is pointer-shaped.
+func TestAfterArgZeroAlloc(t *testing.T) {
+	s := New(1)
+	var sink *int
+	fn := func(x any) { sink = x.(*int) }
+	arg := new(int)
+	for i := 0; i < 64; i++ {
+		s.AfterArg(time.Microsecond, fn, arg)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 32; i++ {
+			s.AfterArg(time.Duration(i), fn, arg)
+		}
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("AfterArg + Run: %.1f allocs/op, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestTimerResetZeroAlloc proves Timer.Reset and Timer.Stop schedule
+// without allocating in steady state — the property the retransmission
+// timer hot path depends on.
+func TestTimerResetZeroAlloc(t *testing.T) {
+	s := New(1)
+	timer := s.NewTimer(func() {})
+	// Warm up the heap, including stale generations left by re-Resets.
+	for i := 0; i < 64; i++ {
+		timer.Reset(time.Duration(i) * time.Microsecond)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 16; i++ {
+			timer.Reset(time.Duration(i+1) * time.Microsecond)
+		}
+		timer.Stop()
+		timer.Reset(time.Microsecond)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("Timer.Reset/Stop + Run: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkAfter measures raw schedule+dispatch cost of the event
+// queue.
+func BenchmarkAfter(b *testing.B) {
+	s := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, fn)
+		if i%64 == 63 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+// BenchmarkTimerReset measures the timer re-arm path (the RTO timer
+// resets on every ACK in the TCP simulation).
+func BenchmarkTimerReset(b *testing.B) {
+	s := New(1)
+	timer := s.NewTimer(func() {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		timer.Reset(time.Microsecond)
+		if i%64 == 63 {
+			s.Run()
+		}
+	}
+	s.Run()
+}

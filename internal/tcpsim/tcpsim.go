@@ -12,6 +12,12 @@
 // the retry budget and (one layer up) drives the HTTP/2 client to
 // reset its streams (section IV-D).
 //
+// The data path is allocation-free in steady state: segments are
+// emitted as pooled netem.Packets whose payload buffers are recycled,
+// the send buffer is consumed by offset (no reslicing churn), and
+// out-of-order receive segments are held in a pooled, sorted slice
+// rather than a map (which also removes the per-drain key sort).
+//
 // Key types: Endpoint (one side's send/receive state machine, with
 // retransmit and break callbacks) and Conn (a client/server Endpoint
 // pair wired through a netem.Path).
@@ -19,7 +25,6 @@ package tcpsim
 
 import (
 	"errors"
-	"sort"
 	"time"
 
 	"repro/internal/netem"
@@ -93,6 +98,13 @@ type Stats struct {
 	AcksSent           int
 }
 
+// heldSeg is one out-of-order inbound segment waiting for its gap to
+// fill. The buf is an owned copy of the wire payload.
+type heldSeg struct {
+	seq uint32
+	buf []byte
+}
+
 // Endpoint is one side of a simulated TCP connection. Not safe for
 // concurrent use; it runs entirely on the simulator goroutine.
 type Endpoint struct {
@@ -101,10 +113,15 @@ type Endpoint struct {
 	cfg  Config
 	out  func(*netem.Packet) // inject into the network
 	app  func([]byte)        // ordered delivery upward
+	pool *netem.PacketPool   // recycled transmit packets; nil => allocate
 
-	// Send state. sendBuf holds bytes [sndUna, sndUna+len).
+	// Send state. sendBuf[sendOff:] holds bytes [sndUna, sndUna+len).
+	// Acked bytes advance sendOff instead of reslicing, so the backing
+	// array is reused instead of drifting; Write compacts the buffer
+	// before appending.
 	sndUna, sndNxt uint32
 	sendBuf        []byte
+	sendOff        int
 	cwnd           float64 // bytes
 	ssthresh       float64
 	dupAcks        int
@@ -115,9 +132,11 @@ type Endpoint struct {
 	sentAt         map[uint32]time.Duration // end-seq -> first-send time (Karn)
 	broken         bool
 
-	// Receive state.
+	// Receive state. held is kept sorted ascending by wrap-safe
+	// distance (seq - rcvNxt); spare recycles hold buffers.
 	rcvNxt uint32
-	held   map[uint32][]byte
+	held   []heldSeg
+	spare  [][]byte
 
 	// OnBreak is called once when the connection breaks. May be nil.
 	OnBreak func(error)
@@ -136,7 +155,8 @@ type Endpoint struct {
 }
 
 // New creates an endpoint. out injects packets toward the peer; app
-// receives the ordered inbound byte stream. name labels diagnostics.
+// receives the ordered inbound byte stream (the slice is only valid
+// for the duration of the callback). name labels diagnostics.
 func New(s *sim.Simulator, cfg Config, name string, out func(*netem.Packet), app func([]byte)) *Endpoint {
 	e := &Endpoint{
 		name:   name,
@@ -145,7 +165,6 @@ func New(s *sim.Simulator, cfg Config, name string, out func(*netem.Packet), app
 		out:    out,
 		app:    app,
 		sentAt: make(map[uint32]time.Duration),
-		held:   make(map[uint32][]byte),
 	}
 	e.cwnd = float64(e.cfg.InitialCwnd * e.cfg.MSS)
 	e.ssthresh = 1 << 30
@@ -153,6 +172,11 @@ func New(s *sim.Simulator, cfg Config, name string, out func(*netem.Packet), app
 	e.rtoTimer = s.NewTimer(e.onRTO)
 	return e
 }
+
+// SetPool attaches a packet pool that emit draws transmit packets
+// from. The pool's owner (normally Conn's delivery handlers) releases
+// packets after the receiving endpoint has processed them.
+func (e *Endpoint) SetPool(pp *netem.PacketPool) { e.pool = pp }
 
 // MSS returns the configured segment size.
 func (e *Endpoint) MSS() int { return e.cfg.MSS }
@@ -167,12 +191,17 @@ func (e *Endpoint) Broken() bool { return e.broken }
 func (e *Endpoint) Outstanding() int { return int(e.sndNxt - e.sndUna) }
 
 // BufferedSend returns bytes queued (sent or not) above sndUna.
-func (e *Endpoint) BufferedSend() int { return len(e.sendBuf) }
+func (e *Endpoint) BufferedSend() int { return len(e.sendBuf) - e.sendOff }
 
 // Write queues b for transmission.
 func (e *Endpoint) Write(b []byte) {
 	if e.broken || len(b) == 0 {
 		return
+	}
+	if e.sendOff > 0 {
+		n := copy(e.sendBuf, e.sendBuf[e.sendOff:])
+		e.sendBuf = e.sendBuf[:n]
+		e.sendOff = 0
 	}
 	e.sendBuf = append(e.sendBuf, b...)
 	e.trySend()
@@ -185,7 +214,7 @@ func (e *Endpoint) trySend() {
 	}
 	for {
 		inFlight := int(e.sndNxt - e.sndUna)
-		avail := len(e.sendBuf) - inFlight
+		avail := len(e.sendBuf) - e.sendOff - inFlight
 		if avail <= 0 {
 			break
 		}
@@ -205,9 +234,8 @@ func (e *Endpoint) trySend() {
 			}
 			n = win
 		}
-		seg := make([]byte, n)
-		copy(seg, e.sendBuf[inFlight:inFlight+n])
-		e.emit(e.sndNxt, seg, false)
+		off := e.sendOff + inFlight
+		e.emit(e.sndNxt, e.sendBuf[off:off+n], false)
 		e.sentAt[e.sndNxt+uint32(n)] = e.s.Now()
 		e.sndNxt += uint32(n)
 	}
@@ -216,17 +244,18 @@ func (e *Endpoint) trySend() {
 	}
 }
 
-// emit sends one segment (or pure ACK when payload is empty).
+// emit sends one segment (or pure ACK when payload is empty). The
+// payload is copied into the packet's recycled buffer, so callers may
+// pass send-buffer subslices directly.
 func (e *Endpoint) emit(seq uint32, payload []byte, retransmit bool) {
 	e.pktID++
-	p := &netem.Packet{
-		ID:         e.pktID,
-		Seq:        seq,
-		Ack:        e.rcvNxt,
-		Payload:    payload,
-		Retransmit: retransmit,
-		SentAt:     e.s.Now(),
-	}
+	p := e.pool.Get()
+	p.ID = e.pktID
+	p.Seq = seq
+	p.Ack = e.rcvNxt
+	p.Payload = append(p.Payload[:0], payload...)
+	p.Retransmit = retransmit
+	p.SentAt = e.s.Now()
 	if len(payload) > 0 {
 		e.Stats.SegmentsSent++
 		e.Stats.BytesSent += int64(len(payload))
@@ -242,21 +271,19 @@ func (e *Endpoint) emit(seq uint32, payload []byte, retransmit bool) {
 // retransmitHead resends the segment starting at sndUna.
 func (e *Endpoint) retransmitHead() {
 	n := e.cfg.MSS
-	if n > len(e.sendBuf) {
-		n = len(e.sendBuf)
+	if pending := len(e.sendBuf) - e.sendOff; n > pending {
+		n = pending
 	}
 	if n == 0 {
 		return
 	}
-	seg := make([]byte, n)
-	copy(seg, e.sendBuf[:n])
 	// Karn's algorithm: no RTT samples from a window containing a
 	// retransmission — a cumulative ACK triggered by the retransmitted
 	// head would otherwise be matched against the first-transmission
 	// timestamp of a later segment, poisoning SRTT with the whole
 	// stall duration.
 	clear(e.sentAt)
-	e.emit(e.sndUna, seg, true)
+	e.emit(e.sndUna, e.sendBuf[e.sendOff:e.sendOff+n], true)
 	if e.OnRetransmit != nil {
 		e.OnRetransmit(e.sndUna, e.sndUna+uint32(n))
 	}
@@ -297,7 +324,9 @@ func (e *Endpoint) breakConn() {
 }
 
 // HandlePacket ingests a packet from the network (wire it as the
-// netem Path's delivery handler for this endpoint).
+// netem Path's delivery handler for this endpoint). The endpoint does
+// not retain the packet or its payload past the call, so the caller
+// may recycle it afterwards.
 func (e *Endpoint) HandlePacket(p *netem.Packet) {
 	if e.broken {
 		return
@@ -323,7 +352,11 @@ func (e *Endpoint) handleAck(ack uint32, pureAck bool) {
 				delete(e.sentAt, endSeq)
 			}
 		}
-		e.sendBuf = e.sendBuf[acked:]
+		e.sendOff += int(acked)
+		if e.sendOff == len(e.sendBuf) {
+			e.sendBuf = e.sendBuf[:0]
+			e.sendOff = 0
+		}
 		e.sndUna = ack
 		e.dupAcks = 0
 		e.retries = 0
@@ -371,11 +404,7 @@ func (e *Endpoint) handleData(seq uint32, payload []byte) {
 		e.sendAck(false)
 	case seqLess(e.rcvNxt, seq):
 		// Out of order: hold and send a duplicate ACK.
-		if _, ok := e.held[seq]; !ok {
-			cp := make([]byte, len(payload))
-			copy(cp, payload)
-			e.held[seq] = cp
-		}
+		e.hold(seq, payload)
 		e.Stats.DupAcksSent++
 		e.sendAck(true)
 	default:
@@ -396,36 +425,67 @@ func (e *Endpoint) deliver(b []byte) {
 	}
 }
 
-func (e *Endpoint) drainHeld() {
-	for {
-		advanced := false
-		// Visit held segments in stream order (distance from rcvNxt in
-		// sequence space, wrap-safe): the bytes delivered are the same
-		// either way, but map order would vary the app-callback
-		// chunking from run to run and break seeded determinism.
-		keys := make([]uint32, 0, len(e.held))
-		for seq := range e.held {
-			keys = append(keys, seq)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i]-e.rcvNxt < keys[j]-e.rcvNxt })
-		for _, seq := range keys {
-			b := e.held[seq]
-			end := seq + uint32(len(b))
-			if seqLEQ(end, e.rcvNxt) {
-				delete(e.held, seq)
-				advanced = true
-				continue
-			}
-			if seqLEQ(seq, e.rcvNxt) {
-				e.deliver(b[e.rcvNxt-seq:])
-				delete(e.held, seq)
-				advanced = true
-			}
-		}
-		if !advanced {
-			return
-		}
+// hold files a future segment at its sorted position (ascending
+// wrap-safe distance from rcvNxt), copying the payload into a
+// recycled buffer. A duplicate of an already-held sequence is ignored
+// (first copy wins, matching the original map behaviour).
+func (e *Endpoint) hold(seq uint32, payload []byte) {
+	d := seq - e.rcvNxt
+	i := 0
+	for i < len(e.held) && e.held[i].seq-e.rcvNxt < d {
+		i++
 	}
+	if i < len(e.held) && e.held[i].seq == seq {
+		return
+	}
+	buf := append(e.getSpare(), payload...)
+	e.held = append(e.held, heldSeg{})
+	copy(e.held[i+1:], e.held[i:])
+	e.held[i] = heldSeg{seq: seq, buf: buf}
+}
+
+// drainHeld delivers held segments made contiguous by an advance of
+// rcvNxt. The slice is sorted in stream order (distance from rcvNxt
+// in sequence space, wrap-safe), so a front scan visits segments in
+// the same deterministic order the map version achieved by sorting
+// its keys per call — the sort is simply no longer needed.
+func (e *Endpoint) drainHeld() {
+	for len(e.held) > 0 {
+		h := e.held[0]
+		end := h.seq + uint32(len(h.buf))
+		if seqLEQ(end, e.rcvNxt) {
+			e.dropHead() // fully superseded duplicate
+			continue
+		}
+		if seqLess(e.rcvNxt, h.seq) {
+			return // gap remains
+		}
+		e.deliver(h.buf[e.rcvNxt-h.seq:])
+		e.dropHead()
+	}
+}
+
+// dropHead removes the first held segment, recycling its buffer.
+func (e *Endpoint) dropHead() {
+	buf := e.held[0].buf
+	n := len(e.held)
+	copy(e.held, e.held[1:])
+	e.held[n-1] = heldSeg{}
+	e.held = e.held[:n-1]
+	if buf != nil {
+		e.spare = append(e.spare, buf[:0])
+	}
+}
+
+// getSpare returns a recycled zero-length hold buffer, or nil.
+func (e *Endpoint) getSpare() []byte {
+	if n := len(e.spare); n > 0 {
+		b := e.spare[n-1]
+		e.spare[n-1] = nil
+		e.spare = e.spare[:n-1]
+		return b
+	}
+	return nil
 }
 
 // sendAck emits a pure ACK; dup marks it as a duplicate for stats
@@ -513,17 +573,27 @@ type Conn struct {
 
 // NewConn builds a client and server endpoint joined by a path with
 // the given ambient configuration. clientApp and serverApp receive
-// each side's ordered inbound bytes.
+// each side's ordered inbound bytes. Both endpoints draw transmit
+// packets from the path's pool, and the delivery handlers release
+// each packet back to it once the endpoint has consumed it.
 func NewConn(s *sim.Simulator, pathCfg netem.PathConfig, tcpCfg Config, clientApp, serverApp func([]byte)) *Conn {
 	c := &Conn{}
 	var path *netem.Path
 	path = netem.NewPath(s, pathCfg,
-		func(p *netem.Packet) { c.Client.HandlePacket(p) },
-		func(p *netem.Packet) { c.Server.HandlePacket(p) },
+		func(p *netem.Packet) {
+			c.Client.HandlePacket(p)
+			path.Pool.Put(p)
+		},
+		func(p *netem.Packet) {
+			c.Server.HandlePacket(p)
+			path.Pool.Put(p)
+		},
 	)
 	c.Path = path
 	c.Client = New(s, tcpCfg, "client", path.SendFromClient, clientApp)
 	c.Server = New(s, tcpCfg, "server", path.SendFromServer, serverApp)
+	c.Client.SetPool(path.Pool)
+	c.Server.SetPool(path.Pool)
 	return c
 }
 

@@ -10,6 +10,12 @@
 // uses (the paper's section II primer and its tshark-based monitor,
 // section V). (See DESIGN.md, substitutions table.)
 //
+// The record path is built for the simulation hot loop: Seal appends
+// into a caller-recycled buffer, Opener.FeedReuse and
+// StreamParser.Feed return scratch storage reused across calls, and
+// both parsers consume their buffers by offset with compaction rather
+// than reslicing.
+//
 // Key types: Sealer and Opener (the endpoint halves), Record,
 // HeaderInfo (what a sniffer reads from the 5 cleartext header
 // bytes), and StreamParser (incremental header extraction from a
@@ -51,6 +57,10 @@ const (
 // ErrRecordTooLarge is returned when a record header declares a body
 // larger than MaxPlaintext+Overhead.
 var ErrRecordTooLarge = errors.New("tlsrec: record exceeds maximum size")
+
+// zeros backs the nonce and tag placeholders so Seal does not
+// allocate them per record.
+var zeros [Overhead]byte
 
 // scramble applies a fixed involutive byte transform so "ciphertext"
 // differs from plaintext while Seal/Open stay inverses without key
@@ -94,7 +104,9 @@ func (s *Sealer) SealedLen(n int) int {
 
 // Seal appends the record encoding of plaintext (split into fragments
 // of at most MaxPlain) to dst and returns the extended slice. An empty
-// plaintext produces a single empty record.
+// plaintext produces a single empty record. Passing a recycled
+// dst[:0] makes Seal allocation-free once the buffer has reached its
+// high-water capacity.
 func (s *Sealer) Seal(dst []byte, contentType uint8, plaintext []byte) []byte {
 	mp := s.maxPlain()
 	first := true
@@ -108,12 +120,12 @@ func (s *Sealer) Seal(dst []byte, contentType uint8, plaintext []byte) []byte {
 		dst = append(dst, contentType, byte(Version>>8), byte(Version&0xff))
 		dst = binary.BigEndian.AppendUint16(dst, uint16(bodyLen))
 		// Explicit nonce placeholder.
-		dst = append(dst, make([]byte, 8)...)
+		dst = append(dst, zeros[:8]...)
 		off := len(dst)
 		dst = append(dst, frag...)
 		scramble(dst[off:], dst[off:])
 		// AEAD tag placeholder.
-		dst = append(dst, make([]byte, 16)...)
+		dst = append(dst, zeros[:16]...)
 		first = false
 	}
 	return dst
@@ -131,38 +143,105 @@ type Record struct {
 // Opener incrementally parses and decrypts a record stream. Feed
 // arbitrary byte chunks; complete records come out.
 type Opener struct {
-	buf []byte
+	buf  []byte
+	off  int      // parse position within buf
+	recs []Record // FeedReuse scratch
+	body []byte   // FeedReuse plaintext arena
 }
 
 // Feed appends stream bytes and returns all newly complete records.
+// The returned records own their memory and stay valid indefinitely;
+// the allocation-free variant is FeedReuse.
 func (o *Opener) Feed(b []byte) ([]Record, error) {
+	return o.feed(b, false)
+}
+
+// FeedReuse is Feed with recycled storage: the returned slice and the
+// record bodies it points into are scratch owned by the Opener, valid
+// only until the next Feed/FeedReuse call. In steady state it
+// allocates nothing.
+func (o *Opener) FeedReuse(b []byte) ([]Record, error) {
+	return o.feed(b, true)
+}
+
+func (o *Opener) feed(b []byte, reuse bool) ([]Record, error) {
+	if o.off > 0 {
+		// Compact the consumed prefix (at most one partial record plus
+		// whatever arrived mid-parse) so the buffer is reused instead
+		// of growing behind an advancing offset.
+		n := copy(o.buf, o.buf[o.off:])
+		o.buf = o.buf[:n]
+		o.off = 0
+	}
 	o.buf = append(o.buf, b...)
 	var out []Record
-	for {
-		if len(o.buf) < HeaderLen {
-			return out, nil
+	var arena []byte
+	if reuse {
+		out = o.recs[:0]
+		// Size the plaintext arena for every complete buffered record
+		// before parsing: growing it mid-loop would reallocate and
+		// dangle the Body slices already handed out.
+		need := 0
+		for off := 0; len(o.buf)-off >= HeaderLen; {
+			bodyLen := int(binary.BigEndian.Uint16(o.buf[off+3 : off+5]))
+			if bodyLen > MaxPlaintext+Overhead || bodyLen < Overhead ||
+				len(o.buf)-off < HeaderLen+bodyLen {
+				break
+			}
+			need += bodyLen - Overhead
+			off += HeaderLen + bodyLen
 		}
-		bodyLen := int(binary.BigEndian.Uint16(o.buf[3:5]))
+		if cap(o.body) < need {
+			o.body = make([]byte, 0, need)
+		}
+		arena = o.body[:0]
+	}
+	for {
+		if len(o.buf)-o.off < HeaderLen {
+			break
+		}
+		bodyLen := int(binary.BigEndian.Uint16(o.buf[o.off+3 : o.off+5]))
 		if bodyLen > MaxPlaintext+Overhead {
+			o.saveScratch(reuse, out, arena)
 			return out, fmt.Errorf("%w: %d", ErrRecordTooLarge, bodyLen)
 		}
 		if bodyLen < Overhead {
+			o.saveScratch(reuse, out, arena)
 			return out, fmt.Errorf("tlsrec: body %d shorter than overhead", bodyLen)
 		}
-		if len(o.buf) < HeaderLen+bodyLen {
-			return out, nil
+		if len(o.buf)-o.off < HeaderLen+bodyLen {
+			break
 		}
-		ct := o.buf[0]
-		cipher := o.buf[HeaderLen : HeaderLen+bodyLen]
-		plain := make([]byte, bodyLen-Overhead)
-		scramble(plain, cipher[8:8+len(plain)])
+		ct := o.buf[o.off]
+		cipher := o.buf[o.off+HeaderLen : o.off+HeaderLen+bodyLen]
+		n := bodyLen - Overhead
+		var plain []byte
+		if reuse {
+			start := len(arena)
+			arena = arena[:start+n]
+			plain = arena[start : start+n]
+		} else {
+			plain = make([]byte, n)
+		}
+		scramble(plain, cipher[8:8+n])
 		out = append(out, Record{ContentType: ct, Body: plain, CipherLen: bodyLen})
-		o.buf = o.buf[HeaderLen+bodyLen:]
+		o.off += HeaderLen + bodyLen
+	}
+	o.saveScratch(reuse, out, arena)
+	return out, nil
+}
+
+// saveScratch stows the scratch slices back on the Opener so their
+// capacity carries over to the next FeedReuse call.
+func (o *Opener) saveScratch(reuse bool, out []Record, arena []byte) {
+	if reuse {
+		o.recs = out
+		o.body = arena
 	}
 }
 
 // Buffered returns the number of bytes awaiting a complete record.
-func (o *Opener) Buffered() int { return len(o.buf) }
+func (o *Opener) Buffered() int { return len(o.buf) - o.off }
 
 // HeaderInfo is what a passive observer reads from a record header.
 type HeaderInfo struct {
@@ -174,22 +253,32 @@ type HeaderInfo struct {
 // stream without decrypting, the way the paper's tshark monitor does.
 type StreamParser struct {
 	buf []byte
+	off int
+	out []HeaderInfo // Feed scratch
 }
 
 // Feed appends observed bytes and returns headers of all records whose
-// bytes have fully transited.
+// bytes have fully transited. The returned slice is scratch reused by
+// the next Feed call; copy the values out if they must survive it.
 func (p *StreamParser) Feed(b []byte) []HeaderInfo {
-	p.buf = append(p.buf, b...)
-	var out []HeaderInfo
-	for {
-		if len(p.buf) < HeaderLen {
-			return out
-		}
-		bodyLen := int(binary.BigEndian.Uint16(p.buf[3:5]))
-		if len(p.buf) < HeaderLen+bodyLen {
-			return out
-		}
-		out = append(out, HeaderInfo{ContentType: p.buf[0], Length: bodyLen})
-		p.buf = p.buf[HeaderLen+bodyLen:]
+	if p.off > 0 {
+		n := copy(p.buf, p.buf[p.off:])
+		p.buf = p.buf[:n]
+		p.off = 0
 	}
+	p.buf = append(p.buf, b...)
+	out := p.out[:0]
+	for {
+		if len(p.buf)-p.off < HeaderLen {
+			break
+		}
+		bodyLen := int(binary.BigEndian.Uint16(p.buf[p.off+3 : p.off+5]))
+		if len(p.buf)-p.off < HeaderLen+bodyLen {
+			break
+		}
+		out = append(out, HeaderInfo{ContentType: p.buf[p.off], Length: bodyLen})
+		p.off += HeaderLen + bodyLen
+	}
+	p.out = out
+	return out
 }
