@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain go tooling underneath.
 
-.PHONY: ci test bench bench-compare check-golden experiments
+.PHONY: ci test bench bench-compare check-golden experiments profile
 
 # The CI gate: vet + build + race-enabled tests (scripts/ci.sh).
 ci:
@@ -19,6 +19,14 @@ bench:
 # (scripts/bench.sh; schema in EXPERIMENTS.md).
 bench-compare:
 	sh scripts/bench.sh
+
+# Profile a representative sweep (Table II: full-attack trials, the
+# dominant workload). Writes cpu.pprof + mem.pprof; inspect with
+# `go tool pprof cpu.pprof`. See EXPERIMENTS.md "Profiling".
+profile:
+	go run ./cmd/h2attack -table2 -trials 100 -seed 1 \
+		-cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof"
 
 # Determinism gate: regenerate the sweep output and diff it against
 # the committed golden file. Any byte of drift fails.

@@ -48,11 +48,12 @@ func reportTrialsPerSec(b *testing.B, trialsPerIter int) {
 // the default degree of multiplexing of the result HTML (paper: ~98%
 // when multiplexed, not multiplexed in ~32% of loads).
 func BenchmarkBaselineMultiplexing(b *testing.B) {
+	w := experiment.NewWorld()
 	for i := 0; i < b.N; i++ {
 		clean, mux := 0, 0
 		var degSum float64
 		for t := 0; t < benchTrials; t++ {
-			r := experiment.RunTrial(experiment.TrialParams{
+			r := w.RunTrial(experiment.TrialParams{
 				Seed: int64(40000 + t), Mode: experiment.ModePassive,
 			})
 			if r.HTMLCleanAny {
@@ -74,12 +75,14 @@ func BenchmarkBaselineMultiplexing(b *testing.B) {
 // two-object page: sequential transmissions leak exact sizes,
 // multiplexed ones do not.
 func BenchmarkFig1PassiveBaseline(b *testing.B) {
+	site := website.TwoObject(7300, 12100)
+	sess := h2sim.NewSession(site, h2sim.SessionConfig{Seed: 100})
+	atk := core.NewAttack(sess)
 	for i := 0; i < b.N; i++ {
 		identified := 0
 		for t := 0; t < benchTrials; t++ {
-			site := website.TwoObject(7300, 12100)
-			sess := h2sim.NewSession(site, h2sim.SessionConfig{Seed: int64(100 + t)})
-			atk := core.InstallPassive(sess)
+			sess.Reset(site, h2sim.SessionConfig{Seed: int64(100 + t)})
+			atk.ArmPassive()
 			sess.Run()
 			for _, inf := range atk.Infer() {
 				if inf.Object != nil {
@@ -158,10 +161,11 @@ func BenchmarkTableIIAttack(b *testing.B) {
 // BenchmarkAblationNoBackpressure measures how baseline multiplexing
 // collapses when server workers ignore the socket buffer.
 func BenchmarkAblationNoBackpressure(b *testing.B) {
+	w := experiment.NewWorld()
 	for i := 0; i < b.N; i++ {
 		clean := 0
 		for t := 0; t < benchTrials; t++ {
-			r := experiment.RunTrial(experiment.TrialParams{
+			r := w.RunTrial(experiment.TrialParams{
 				Seed: int64(47000 + t), Mode: experiment.ModePassive,
 				Server: h2sim.ServerConfig{DisableBackpressure: true},
 			})
@@ -176,10 +180,11 @@ func BenchmarkAblationNoBackpressure(b *testing.B) {
 // BenchmarkAblationNoReset measures the composed attack without the
 // client's reset-streams behaviour.
 func BenchmarkAblationNoReset(b *testing.B) {
+	w := experiment.NewWorld()
 	for i := 0; i < b.N; i++ {
 		succ := 0
 		for t := 0; t < benchTrials; t++ {
-			r := experiment.RunTrial(experiment.TrialParams{
+			r := w.RunTrial(experiment.TrialParams{
 				Seed: int64(49000 + t), Mode: experiment.ModeFullAttack,
 				Client: h2sim.ClientConfig{DisableReset: true},
 			})
@@ -194,10 +199,11 @@ func BenchmarkAblationNoReset(b *testing.B) {
 // BenchmarkAblationWideRefetch measures the image-sequence accuracy
 // cost of a wide post-reset refetch window.
 func BenchmarkAblationWideRefetch(b *testing.B) {
+	w := experiment.NewWorld()
 	for i := 0; i < b.N; i++ {
 		okPos := 0
 		for t := 0; t < benchTrials; t++ {
-			r := experiment.RunTrial(experiment.TrialParams{
+			r := w.RunTrial(experiment.TrialParams{
 				Seed: int64(50000 + t), Mode: experiment.ModeFullAttack,
 				Client: h2sim.ClientConfig{RefetchWindow: 24},
 			})
@@ -214,8 +220,22 @@ func BenchmarkAblationWideRefetch(b *testing.B) {
 // --- Substrate micro-benchmarks ---
 
 // BenchmarkFullAttackTrial measures the wall-clock cost of one
-// complete simulated attack trial (the unit of every sweep above).
+// complete simulated attack trial (the unit of every sweep above),
+// in the steady state the sweeps actually run in: one reusable world
+// per worker, reset per trial.
 func BenchmarkFullAttackTrial(b *testing.B) {
+	w := experiment.NewWorld()
+	for i := 0; i < b.N; i++ {
+		w.RunTrial(experiment.TrialParams{
+			Seed: int64(90000 + i), Mode: experiment.ModeFullAttack,
+		})
+	}
+}
+
+// BenchmarkFullAttackTrialFresh is the cold-path control for
+// BenchmarkFullAttackTrial: a brand-new world per trial, what every
+// sweep paid per trial before worlds became reusable.
+func BenchmarkFullAttackTrialFresh(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiment.RunTrial(experiment.TrialParams{
 			Seed: int64(90000 + i), Mode: experiment.ModeFullAttack,
@@ -223,10 +243,12 @@ func BenchmarkFullAttackTrial(b *testing.B) {
 	}
 }
 
-// BenchmarkBaselineTrial measures one passive page-load trial.
+// BenchmarkBaselineTrial measures one passive page-load trial
+// (reused world, like the sweeps).
 func BenchmarkBaselineTrial(b *testing.B) {
+	w := experiment.NewWorld()
 	for i := 0; i < b.N; i++ {
-		experiment.RunTrial(experiment.TrialParams{
+		w.RunTrial(experiment.TrialParams{
 			Seed: int64(91000 + i), Mode: experiment.ModePassive,
 		})
 	}
@@ -324,12 +346,14 @@ func BenchmarkDefenses(b *testing.B) {
 // multiplexed" extension: identification rate of a two-object
 // multiplexed page, basic vs pair-sum inference.
 func BenchmarkPairInference(b *testing.B) {
+	site := website.TwoObject(7300, 12100)
+	sess := h2sim.NewSession(site, h2sim.SessionConfig{Seed: 300})
+	atk := core.NewAttack(sess)
 	for i := 0; i < b.N; i++ {
 		basic, paired := 0, 0
 		for t := 0; t < benchTrials; t++ {
-			site := website.TwoObject(7300, 12100)
-			sess := h2sim.NewSession(site, h2sim.SessionConfig{Seed: int64(300 + t)})
-			atk := core.InstallPassive(sess)
+			sess.Reset(site, h2sim.SessionConfig{Seed: int64(300 + t)})
+			atk.ArmPassive()
 			sess.Run()
 			recs := atk.Monitor.ResponseRecords()
 			for _, inf := range atk.Predictor.Infer(recs) {

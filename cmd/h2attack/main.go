@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiment"
@@ -36,20 +37,52 @@ func main() {
 
 func run() int {
 	var (
-		table1   = flag.Bool("table1", false, "reproduce Table I (jitter sweep)")
-		fig5     = flag.Bool("fig5", false, "reproduce Figure 5 (bandwidth sweep)")
-		drops    = flag.Bool("drops", false, "reproduce section IV-D (targeted drops)")
-		table2   = flag.Bool("table2", false, "reproduce Table II (full attack)")
-		delay    = flag.Bool("delay", false, "run the section IV-A uniform-delay control")
-		defenses = flag.Bool("defenses", false, "evaluate the section VII defence proposals")
-		all      = flag.Bool("all", false, "run every experiment")
-		trial    = flag.Bool("trial", false, "run one verbose full-attack trial")
-		trials   = flag.Int("trials", 100, "page loads per configuration")
-		seed     = flag.Int64("seed", 1, "base seed (trial i uses seed+i)")
-		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "trial worker goroutines per sweep (1 = serial)")
-		progress = flag.Bool("progress", false, "report sweep completion and ETA on stderr")
+		table1     = flag.Bool("table1", false, "reproduce Table I (jitter sweep)")
+		fig5       = flag.Bool("fig5", false, "reproduce Figure 5 (bandwidth sweep)")
+		drops      = flag.Bool("drops", false, "reproduce section IV-D (targeted drops)")
+		table2     = flag.Bool("table2", false, "reproduce Table II (full attack)")
+		delay      = flag.Bool("delay", false, "run the section IV-A uniform-delay control")
+		defenses   = flag.Bool("defenses", false, "evaluate the section VII defence proposals")
+		all        = flag.Bool("all", false, "run every experiment")
+		trial      = flag.Bool("trial", false, "run one verbose full-attack trial")
+		trials     = flag.Int("trials", 100, "page loads per configuration")
+		seed       = flag.Int64("seed", 1, "base seed (trial i uses seed+i)")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "trial worker goroutines per sweep (1 = serial)")
+		progress   = flag.Bool("progress", false, "report sweep completion and ETA on stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "h2attack: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "h2attack: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "h2attack: -memprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			// The allocation profile is written at exit so it covers
+			// the whole run; GC first so the heap samples are current.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "h2attack: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	// sweepOpts builds the per-sweep execution options: the worker
 	// count plus, with -progress, a stderr ticker. Results do not

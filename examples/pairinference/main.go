@@ -17,10 +17,12 @@ import (
 func main() {
 	const trials = 30
 	basic, paired := 0, 0
+	site := website.TwoObject(7300, 12100)
+	sess := h2sim.NewSession(site, h2sim.SessionConfig{Seed: 300})
+	atk := core.NewAttack(sess)
 	for i := 0; i < trials; i++ {
-		site := website.TwoObject(7300, 12100)
-		sess := h2sim.NewSession(site, h2sim.SessionConfig{Seed: int64(300 + i)})
-		atk := core.InstallPassive(sess)
+		sess.Reset(site, h2sim.SessionConfig{Seed: int64(300 + i)})
+		atk.ArmPassive()
 		sess.Run()
 		recs := atk.Monitor.ResponseRecords()
 		for _, inf := range atk.Predictor.Infer(recs) {

@@ -24,8 +24,9 @@ func main() {
 	fmt.Println("attacking the survey site (one line per simulated volunteer):")
 	fmt.Println()
 	perfect, htmlOK := 0, 0
+	w := experiment.NewWorld()
 	for i := 0; i < *trials; i++ {
-		r := experiment.RunTrial(experiment.TrialParams{
+		r := w.RunTrial(experiment.TrialParams{
 			Seed: *seed + int64(i),
 			Mode: experiment.ModeFullAttack,
 		})

@@ -47,33 +47,52 @@ type CopyTransmission struct {
 	// StartTime and EndTime are the enqueue times of the first and
 	// last DATA frames.
 	StartTime, EndTime time.Duration
-
-	frames []trace.FrameEvent
 }
 
 // CopyTransmissions groups ground-truth frame events by copy and
 // computes each copy's degree of multiplexing. Results are ordered by
-// first wire byte.
+// first wire byte. Every returned transmission is freshly allocated
+// (the results outlive the trace they were computed from).
 func CopyTransmissions(tr *trace.Trace) []*CopyTransmission {
-	byKey := make(map[CopyKey]*CopyTransmission)
-	var order []*CopyTransmission
-	for _, f := range tr.Frames {
+	// Pass 1: count the wire (Len>0) frames and the distinct copies,
+	// so the arena and scratch below are sized exactly once.
+	byKey := make(map[CopyKey]int)
+	nWire := 0
+	for i := range tr.Frames {
+		f := &tr.Frames[i]
 		if f.Len == 0 {
 			continue // HEADERS marker
 		}
+		nWire++
 		k := CopyKey{ObjectID: f.ObjectID, CopyID: f.CopyID}
-		ct := byKey[k]
-		if ct == nil {
-			ct = &CopyTransmission{
-				Key:       k,
-				StreamID:  f.StreamID,
-				Start:     f.Offset,
-				StartTime: f.Time,
-			}
-			byKey[k] = ct
-			order = append(order, ct)
+		if _, ok := byKey[k]; !ok {
+			byKey[k] = len(byKey)
 		}
-		ct.frames = append(ct.frames, f)
+	}
+
+	// Pass 2: fill a single arena of transmissions in place. The
+	// returned pointers all point into this one allocation. Indices
+	// were assigned in first-occurrence order, so while iterating the
+	// frames in the same order, index inited is hit exactly when its
+	// copy's first frame appears.
+	arena := make([]CopyTransmission, len(byKey))
+	wire := make([]trace.FrameEvent, 0, nWire)
+	inited := 0
+	for _, f := range tr.Frames {
+		if f.Len == 0 {
+			continue
+		}
+		wire = append(wire, f)
+		k := CopyKey{ObjectID: f.ObjectID, CopyID: f.CopyID}
+		idx := byKey[k]
+		ct := &arena[idx]
+		if idx == inited {
+			inited++
+			ct.Key = k
+			ct.StreamID = f.StreamID
+			ct.Start = f.Offset
+			ct.StartTime = f.Time
+		}
 		ct.Bytes += f.Len
 		if end := f.Offset + int64(f.WireLen); end > ct.End {
 			ct.End = end
@@ -93,12 +112,6 @@ func CopyTransmissions(tr *trace.Trace) []*CopyTransmission {
 	// attributable to X when no concurrent transmission's records
 	// border X's (sequentially adjacent transmissions do not count —
 	// that is the normal delimited case of Figure 1).
-	var wire []trace.FrameEvent
-	for _, f := range tr.Frames {
-		if f.Len > 0 {
-			wire = append(wire, f)
-		}
-	}
 	sort.Slice(wire, func(i, j int) bool { return wire[i].Offset < wire[j].Offset })
 	overlaps := func(a, b *CopyTransmission) bool {
 		return a.Start < b.End && b.Start < a.End
@@ -109,22 +122,21 @@ func CopyTransmissions(tr *trace.Trace) []*CopyTransmission {
 		if k == x.Key {
 			return false
 		}
-		y := byKey[k]
-		return y != nil && overlaps(x, y)
+		return overlaps(x, &arena[byKey[k]])
 	}
 	for i, f := range wire {
-		x := byKey[CopyKey{ObjectID: f.ObjectID, CopyID: f.CopyID}]
-		if x == nil {
-			continue
-		}
+		x := &arena[byKey[CopyKey{ObjectID: f.ObjectID, CopyID: f.CopyID}]]
 		if (i > 0 && foreignNeighbor(x, i-1)) || (i+1 < len(wire) && foreignNeighbor(x, i+1)) {
 			x.InterleavedBytes += f.Len
 		}
 	}
-	for _, x := range order {
+	order := make([]*CopyTransmission, len(arena))
+	for i := range arena {
+		x := &arena[i]
 		if x.Bytes > 0 {
 			x.Degree = float64(x.InterleavedBytes) / float64(x.Bytes)
 		}
+		order[i] = x
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i].Start < order[j].Start })
 	return order

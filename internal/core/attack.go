@@ -53,27 +53,51 @@ func PaperAttack() AttackConfig {
 }
 
 // Attack wires the adversary's components onto a session's middlebox
-// and runs the phase schedule.
+// and runs the phase schedule. One Attack can be re-armed across
+// trials of a reused session (see Arm / ArmPassive).
 type Attack struct {
 	Controller *Controller
 	Monitor    *Monitor
 	Predictor  *Predictor
 
+	sess  *h2sim.Session
 	cfg   AttackConfig
 	phase int
+
+	infs []Inference // reused by Infer
 }
 
-// Install builds the adversary on the session's middlebox. Call
-// before Session.Run.
-func Install(sess *h2sim.Session, cfg AttackConfig) *Attack {
-	a := &Attack{
+// NewAttack builds the adversary's components against a session
+// without arming anything. Call Arm or ArmPassive before each
+// Session.Run; a reused world constructs one Attack and re-arms it
+// every trial.
+func NewAttack(sess *h2sim.Session) *Attack {
+	return &Attack{
 		Controller: NewController(sess.Sim, sess.Conn.Path),
 		Monitor:    NewMonitor(sess.Sim),
 		Predictor:  NewPredictor(sess.Site),
-		cfg:        cfg,
+		sess:       sess,
 	}
+}
+
+// reset rewinds the components for a fresh trial. Session.Reset has
+// already detached the previous trial's wiring (Middlebox.Reset
+// clears the interceptor and tap), so only component state remains.
+func (a *Attack) reset(cfg AttackConfig) {
+	a.cfg = cfg
+	a.Controller.Reset()
+	a.Monitor.Reset()
+	a.Predictor.Site = a.sess.Site
+	a.infs = a.infs[:0]
+}
+
+// Arm wires the full adversary onto the session's middlebox and
+// starts the phase schedule. Call after Session.Reset and before
+// Session.Run.
+func (a *Attack) Arm(cfg AttackConfig) {
+	a.reset(cfg)
 	a.Controller.Install()
-	sess.Middlebox().Tap = a.Monitor.Tap
+	a.sess.Middlebox().Tap = a.Monitor.Tap
 	a.Monitor.OnGet = a.onGet
 	a.Monitor.OnResetBurst = a.onResetBurst
 	a.Controller.SetSpacing(cfg.Phase1Spacing)
@@ -81,17 +105,29 @@ func Install(sess *h2sim.Session, cfg AttackConfig) *Attack {
 	if cfg.TriggerGet == 0 {
 		a.phase = 0 // static jitter-only adversary
 	}
+}
+
+// ArmPassive wires only the monitor (a classic passive eavesdropper),
+// for baselines.
+func (a *Attack) ArmPassive() {
+	a.reset(AttackConfig{})
+	a.sess.Middlebox().Tap = a.Monitor.Tap
+	a.phase = 0
+}
+
+// Install builds the adversary on the session's middlebox. Call
+// before Session.Run.
+func Install(sess *h2sim.Session, cfg AttackConfig) *Attack {
+	a := NewAttack(sess)
+	a.Arm(cfg)
 	return a
 }
 
 // InstallPassive wires only the monitor (a classic passive
 // eavesdropper) onto the session, for baselines.
 func InstallPassive(sess *h2sim.Session) *Attack {
-	a := &Attack{
-		Monitor:   NewMonitor(sess.Sim),
-		Predictor: NewPredictor(sess.Site),
-	}
-	sess.Middlebox().Tap = a.Monitor.Tap
+	a := NewAttack(sess)
+	a.ArmPassive()
 	return a
 }
 
@@ -129,7 +165,11 @@ func (a *Attack) enterPhase3() {
 	a.Controller.SetSpacing(a.cfg.Phase2Spacing)
 }
 
-// Infer runs the predictor over everything the monitor observed.
+// Infer runs the predictor over everything the monitor observed. The
+// returned slice is backed by scratch owned by the attack: it is
+// valid until the next Infer or Arm call and must not be retained
+// across trials.
 func (a *Attack) Infer() []Inference {
-	return a.Predictor.Infer(a.Monitor.ResponseRecords())
+	a.infs = a.Predictor.inferAppend(a.infs[:0], a.Monitor.ResponseRecords())
+	return a.infs
 }

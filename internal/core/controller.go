@@ -63,6 +63,17 @@ func (c *Controller) Install() {
 	c.path.Mbox.Interceptor = c.Intercept
 }
 
+// Reset returns the controller to its just-built state: no spacing,
+// no drops, zeroed counters. The simulator and path bindings are
+// kept, so a reused world re-arms the same controller each trial.
+func (c *Controller) Reset() {
+	c.spacing = 0
+	c.lastRelease = 0
+	c.dropRate = 0
+	c.dropUntil = 0
+	c.Stats = ControllerStats{}
+}
+
 // SetSpacing enforces a minimum inter-arrival time between
 // client→server payload packets (the paper's calculated jitter: "set
 // the jitter such that the inter-arrival time of requests is d ms").

@@ -45,11 +45,26 @@ type Monitor struct {
 
 	getCount   int
 	seenFirstC bool // first c->s app record is the client SETTINGS
+
+	respScratch []trace.RecordObs // reused by ResponseRecords
 }
 
 // NewMonitor builds a monitor. Wire Tap as the middlebox byte tap.
 func NewMonitor(s *sim.Simulator) *Monitor {
 	return &Monitor{s: s, MinGetCipher: 45, MaxGetCipher: 200, ResetMinCipher: 300}
+}
+
+// Reset returns the monitor to its just-built state for a new trial:
+// observations cleared (backing arrays kept), stream parsers rewound,
+// callbacks detached. The classification thresholds are preserved.
+func (m *Monitor) Reset() {
+	m.Records = m.Records[:0]
+	m.OnGet = nil
+	m.OnResetBurst = nil
+	m.parserC2S.Reset()
+	m.parserS2C.Reset()
+	m.getCount = 0
+	m.seenFirstC = false
 }
 
 // Tap ingests reassembled stream bytes from the middlebox.
@@ -100,14 +115,18 @@ func (m *Monitor) classifyClientRecord(h tlsrec.HeaderInfo) {
 func (m *Monitor) GetCount() int { return m.getCount }
 
 // ResponseRecords returns the server→client application-data records
-// observed so far (the predictor's input).
+// observed so far (the predictor's input). The returned slice is
+// backed by a scratch buffer owned by the monitor: it is valid until
+// the next ResponseRecords call and must not be retained across
+// trials.
 func (m *Monitor) ResponseRecords() []trace.RecordObs {
-	var out []trace.RecordObs
+	out := m.respScratch[:0]
 	for _, r := range m.Records {
 		if r.Dir == trace.ServerToClient && r.IsAppData() {
 			out = append(out, r)
 		}
 	}
+	m.respScratch = out
 	return out
 }
 

@@ -73,8 +73,13 @@ func NewPredictor(site *website.Site) *Predictor {
 // record, so a run still open when one appears was cut off without
 // its delimiter) and an idle gap longer than IdleGap.
 func (p *Predictor) Infer(records []trace.RecordObs) []Inference {
+	return p.inferAppend(nil, records)
+}
+
+// inferAppend is Infer with a caller-supplied destination, letting a
+// reused world amortize the inference slice across trials.
+func (p *Predictor) inferAppend(out []Inference, records []trace.RecordObs) []Inference {
 	var (
-		out      []Inference
 		runSize  int
 		runRecs  int
 		start    time.Duration
@@ -152,7 +157,7 @@ func (p *Predictor) PredictEmblemOrder(infs []Inference) [website.PartyCount]int
 	for i := range order {
 		order[i] = -1
 	}
-	seen := make(map[int]bool)
+	var seen [website.PartyCount]bool
 	pos := 0
 	for _, inf := range infs {
 		if inf.Object == nil || pos >= website.PartyCount {

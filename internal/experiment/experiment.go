@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/h2sim"
 	"repro/internal/netem"
+	"repro/internal/tcpsim"
 	"repro/internal/website"
 )
 
@@ -65,6 +66,11 @@ type TrialParams struct {
 	// Server/Client override endpoint knobs (zero values = defaults).
 	Server h2sim.ServerConfig
 	Client h2sim.ClientConfig
+
+	// TCP overrides transport knobs on both endpoints (zero value =
+	// defaults). Used e.g. to lower MaxRetries so a harsh drop phase
+	// can actually break the connection.
+	TCP tcpsim.Config
 
 	// UniformDelay adds a constant extra one-way delay on both
 	// directions (the paper's section IV-A control experiment).
@@ -145,87 +151,11 @@ func ambient(rng *rand.Rand) (path netem.PathConfig, htmlGap time.Duration) {
 	return path, htmlGap
 }
 
-// RunTrial executes one trial.
+// RunTrial executes one trial in a fresh world. Sweeps and other
+// hot loops should keep a World per worker and call its RunTrial
+// method instead — same results, amortized construction.
 func RunTrial(p TrialParams) TrialResult {
-	rng := rand.New(rand.NewSource(p.Seed))
-	order := website.RandomPermutation(rng)
-
-	path, htmlGap := ambient(rng)
-	if p.FixedAmbient {
-		path, htmlGap = h2sim.DefaultPath(), 250*time.Millisecond
-	}
-	if p.UniformDelay > 0 {
-		path.ClientSide.PropDelay += p.UniformDelay / 2
-		path.ServerSide.PropDelay += p.UniformDelay / 2
-	}
-	site := website.SurveyCustom(order, website.SurveyOptions{
-		HTMLGap:             htmlGap,
-		CanonicalImageOrder: p.CanonicalOrder,
-		PadBucket:           p.PadBucket,
-	})
-
-	serverCfg := p.Server
-	if p.PushEmblems {
-		html, _ := site.Object(website.ResultHTMLID)
-		var pushes []string
-		for party := 0; party < website.PartyCount; party++ {
-			o, _ := site.Object(website.EmblemID(party))
-			pushes = append(pushes, o.Path)
-		}
-		if serverCfg.Push == nil {
-			serverCfg.Push = make(map[string][]string)
-		}
-		serverCfg.Push[html.Path] = pushes
-	}
-	sess := h2sim.NewSession(site, h2sim.SessionConfig{
-		Seed:      p.Seed,
-		Path:      path,
-		Server:    serverCfg,
-		Client:    p.Client,
-		TimeLimit: p.TimeLimit,
-	})
-
-	var atk *core.Attack
-	switch p.Mode {
-	case ModeJitter:
-		atk = core.Install(sess, core.AttackConfig{Phase1Spacing: p.Spacing})
-	case ModeJitterThrottle:
-		atk = core.Install(sess, core.AttackConfig{Phase1Spacing: p.Spacing})
-		atk.Controller.SetBandwidth(p.Bandwidth)
-	case ModeFullAttack:
-		cfg := p.Attack
-		if cfg == (core.AttackConfig{}) {
-			cfg = core.PaperAttack()
-		}
-		atk = core.Install(sess, cfg)
-	default:
-		atk = core.InstallPassive(sess)
-	}
-
-	sess.Run()
-
-	res := TrialResult{
-		Broken:          sess.Broken(),
-		TruthOrder:      site.DisplayOrder,
-		Retransmissions: sess.TotalRetransmissions(),
-		ReRequests:      sess.Client.Stats.ReRequests,
-		Resets:          sess.Client.Stats.Resets,
-		PageComplete:    sess.Client.AllScheduledComplete(),
-		LoadTime:        sess.Client.CompletedAt(45), // the trailing beacon
-	}
-	res.Requests = sess.Client.Requests
-	res.Copies = analysis.CopyTransmissions(sess.GroundTruth)
-	res.HTMLCleanAny, res.HTMLCleanOrig = analysis.CleanCopy(res.Copies, website.ResultHTMLID)
-	res.HTMLDegree = analysis.OriginalDegree(res.Copies, website.ResultHTMLID)
-
-	infs := atk.Infer()
-	res.HTMLIdentified = atk.Predictor.IdentifiedHTML(infs)
-	res.PredOrder = atk.Predictor.PredictEmblemOrder(infs)
-	for i, party := range res.TruthOrder {
-		clean, _ := analysis.CleanCopy(res.Copies, website.EmblemID(party))
-		res.ImageClean[i] = clean
-	}
-	return res
+	return NewWorld().RunTrial(p)
 }
 
 // HTMLSuccess is the paper's success criterion for the object of

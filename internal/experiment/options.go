@@ -32,7 +32,9 @@ func OnProgress(f func(runner.Progress)) Option {
 
 // runTrials executes n trials through the worker pool, building the
 // i-th trial's parameters with mk(i), and returns the results in
-// trial order. A trial that panics is reported as a broken trial
+// trial order. Each worker keeps one reusable World, reset per trial,
+// so a sweep pays construction once per worker rather than once per
+// trial. A trial that panics is reported as a broken trial
 // (TrialResult{Broken: true}) so a single bad seed cannot kill a
 // sweep; every aggregate already accounts broken trials.
 func runTrials(n int, opts []Option, mk func(i int) TrialParams) []TrialResult {
@@ -40,11 +42,11 @@ func runTrials(n int, opts []Option, mk func(i int) TrialParams) []TrialResult {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	results, failures := runner.Run(n, runner.Options{
+	results, failures := runner.RunWith(n, runner.Options{
 		Workers:    cfg.workers,
 		OnProgress: cfg.onProgress,
-	}, func(i int) TrialResult {
-		return RunTrial(mk(i))
+	}, NewWorld, func(w *World, i int) TrialResult {
+		return w.RunTrial(mk(i))
 	})
 	for _, f := range failures {
 		results[f.Index] = TrialResult{Broken: true}

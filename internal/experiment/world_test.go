@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tcpsim"
+)
+
+// TestWorldMatchesFreshTrial is the reuse-correctness contract of the
+// trial world: for every adversary mode, a trial run in a reused
+// world must equal the same trial run in a fresh world, bit for bit.
+func TestWorldMatchesFreshTrial(t *testing.T) {
+	params := []TrialParams{
+		{Seed: 7, Mode: ModePassive},
+		{Seed: 8, Mode: ModeJitter, Spacing: 50e6},
+		{Seed: 9, Mode: ModeJitterThrottle, Spacing: 50e6, Bandwidth: 100_000_000},
+		{Seed: 10, Mode: ModeFullAttack},
+		{Seed: 11, Mode: ModeFullAttack, CanonicalOrder: true},
+		{Seed: 12, Mode: ModeFullAttack, PadBucket: 4096},
+		{Seed: 13, Mode: ModePassive, PushEmblems: true},
+	}
+	w := NewWorld()
+	for _, p := range params {
+		fresh := RunTrial(p)
+		reused := w.RunTrial(p)
+		if !reflect.DeepEqual(fresh, reused) {
+			t.Errorf("params %+v: reused-world result differs from fresh world\nfresh:  %+v\nreused: %+v",
+				p, fresh, reused)
+		}
+	}
+}
+
+// TestWorldNoStateLeak dirties a world with trials at different seeds
+// — including a broken-connection trial, the messiest exit path (RST
+// bursts, parked workers, packets still in flight when the run stops)
+// — and checks that a target trial afterwards still matches a fresh
+// world exactly. Run under -race via scripts/ci.sh, this is the
+// regression gate for every Reset method in the stack.
+func TestWorldNoStateLeak(t *testing.T) {
+	target := TrialParams{Seed: 42, Mode: ModeFullAttack}
+	want := NewWorld().RunTrial(target)
+
+	// A near-certain-drop attack phase against a transport with no
+	// retry budget: the dirtying trial must end with a broken
+	// connection so the leak test covers the abort path (RST bursts,
+	// parked workers, packets still in flight), not just clean exits.
+	breaker := TrialParams{
+		Seed: 5,
+		Mode: ModeFullAttack,
+		TCP:  tcpsim.Config{MaxRetries: 1},
+		Attack: core.AttackConfig{
+			Phase1Spacing: 50e6,
+			TriggerGet:    2,
+			ThrottleBps:   1_000_000,
+			DropRate:      0.995,
+			DropDuration:  60e9,
+			Phase2Spacing: 80e6,
+		},
+	}
+
+	w := NewWorld()
+	if r := w.RunTrial(breaker); !r.Broken {
+		t.Fatalf("dirtying trial did not break the connection; pick a harsher config")
+	}
+	for _, dirty := range []TrialParams{
+		{Seed: 1, Mode: ModeFullAttack},
+		{Seed: 2, Mode: ModePassive, PushEmblems: true},
+		{Seed: 3, Mode: ModeJitter, Spacing: 80e6},
+	} {
+		w.RunTrial(dirty)
+	}
+	got := w.RunTrial(target)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("world state leaked across trials\nfresh:  %+v\ndirty world: %+v", want, got)
+	}
+}
+
+// TestWorldTrialAllocs pins the steady-state allocation budget of a
+// reused-world full-attack trial. The reset-don't-rebuild design
+// keeps the whole trial - session, transport, TLS, HTTP/2, adversary,
+// analysis - within a small constant budget once pools are warm; a
+// regression here means some layer started rebuilding or leaking.
+func TestWorldTrialAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w := NewWorld()
+	// Warm-up: grow every pool and scratch buffer to its high-water
+	// mark across both clean and broken trials.
+	for s := int64(0); s < 5; s++ {
+		w.RunTrial(TrialParams{Seed: 90000 + s, Mode: ModeFullAttack})
+	}
+	seed := int64(90005)
+	allocs := testing.AllocsPerRun(10, func() {
+		w.RunTrial(TrialParams{Seed: seed, Mode: ModeFullAttack})
+		seed++
+	})
+	// Headroom above the ~160 measured: trial-to-trial variation can
+	// touch fresh high-water marks (more resets, more copies). The
+	// pre-world baseline was ~2974.
+	if allocs > 300 {
+		t.Errorf("reused-world full-attack trial allocates %.0f objects/run, budget 300", allocs)
+	}
+}

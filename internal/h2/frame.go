@@ -597,7 +597,21 @@ type FrameScanner struct {
 	// DefaultMaxFrameSize.
 	MaxFrameSize uint32
 
-	data DataFrame // FeedInto scratch for DATA, the hot frame type
+	// FeedInto scratch values, one per frame type the simulated
+	// sessions exchange, so steady-state scanning allocates nothing.
+	data     DataFrame
+	headers  HeadersFrame
+	rst      RSTStreamFrame
+	settings SettingsFrame
+	push     PushPromiseFrame
+}
+
+// Reset discards buffered partial-frame bytes so the scanner can
+// start a fresh stream, keeping the buffer capacity and scratch
+// frames. MaxFrameSize is preserved.
+func (sc *FrameScanner) Reset() {
+	sc.buf = sc.buf[:0]
+	sc.off = 0
 }
 
 func (sc *FrameScanner) maxSize() uint32 {
@@ -661,11 +675,12 @@ func (sc *FrameScanner) Feed(b []byte) ([]Frame, error) {
 // FeedInto appends stream bytes and invokes emit once per newly
 // complete frame, in order, stopping at the first error (emit's or
 // the scanner's). Unlike Feed it does not copy payloads: the frame
-// passed to emit aliases the scanner's buffer — and for DATA frames
-// is itself a scratch value reused across calls — so it is valid only
-// during the callback. In steady state DATA frames cost zero
-// allocations, which is what the HTTP/2 session layers ride for body
-// chunks.
+// passed to emit aliases the scanner's buffer — and for the frame
+// types the simulated sessions exchange (DATA, HEADERS, RST_STREAM,
+// SETTINGS, PUSH_PROMISE) is itself a scratch value reused across
+// calls — so it is valid only during the callback. In steady state
+// those frame types cost zero allocations, which is what the HTTP/2
+// session layers ride.
 func (sc *FrameScanner) FeedInto(b []byte, emit func(Frame) error) error {
 	sc.ingest(b)
 	for {
@@ -677,7 +692,8 @@ func (sc *FrameScanner) FeedInto(b []byte, emit func(Frame) error) error {
 		payload := sc.buf[start : start+int(h.Length)]
 		sc.off = start + int(h.Length)
 		var f Frame
-		if h.Type == FrameData {
+		switch h.Type {
+		case FrameData:
 			// Mirror parseDataFrame into the scratch frame.
 			if h.StreamID == 0 {
 				return ConnectionError{Code: ErrCodeProtocol, Reason: "DATA on stream 0"}
@@ -694,7 +710,93 @@ func (sc *FrameScanner) FeedInto(b []byte, emit func(Frame) error) error {
 				Padded:    h.Flags.Has(FlagPadded),
 			}
 			f = &sc.data
-		} else {
+		case FrameHeaders:
+			// Mirror parseHeadersFrame.
+			if h.StreamID == 0 {
+				return ConnectionError{Code: ErrCodeProtocol, Reason: "HEADERS on stream 0"}
+			}
+			body, padLen, err := stripPadding(h, payload)
+			if err != nil {
+				return err
+			}
+			sc.headers = HeadersFrame{
+				StreamID:   h.StreamID,
+				EndStream:  h.Flags.Has(FlagEndStream),
+				EndHeaders: h.Flags.Has(FlagEndHeaders),
+				PadLength:  padLen,
+				Padded:     h.Flags.Has(FlagPadded),
+			}
+			if h.Flags.Has(FlagPriority) {
+				if len(body) < 5 {
+					return ConnectionError{Code: ErrCodeFrameSize, Reason: "HEADERS priority fields truncated"}
+				}
+				dep := binary.BigEndian.Uint32(body[:4])
+				sc.headers.HasPriority = true
+				sc.headers.Priority = PriorityParam{
+					StreamDep: dep & 0x7fffffff,
+					Exclusive: dep>>31 == 1,
+					Weight:    body[4],
+				}
+				body = body[5:]
+			}
+			sc.headers.BlockFragment = body
+			f = &sc.headers
+		case FrameRSTStream:
+			// Mirror parseRSTStreamFrame.
+			if h.StreamID == 0 {
+				return ConnectionError{Code: ErrCodeProtocol, Reason: "RST_STREAM on stream 0"}
+			}
+			if len(payload) != 4 {
+				return ConnectionError{Code: ErrCodeFrameSize, Reason: "RST_STREAM length != 4"}
+			}
+			sc.rst = RSTStreamFrame{StreamID: h.StreamID, Code: ErrCode(binary.BigEndian.Uint32(payload))}
+			f = &sc.rst
+		case FrameSettings:
+			// Mirror parseSettingsFrame, reusing the Settings slice.
+			if h.StreamID != 0 {
+				return ConnectionError{Code: ErrCodeProtocol, Reason: "SETTINGS on nonzero stream"}
+			}
+			if h.Flags.Has(FlagAck) && len(payload) != 0 {
+				return ConnectionError{Code: ErrCodeFrameSize, Reason: "SETTINGS ack with payload"}
+			}
+			if len(payload)%6 != 0 {
+				return ConnectionError{Code: ErrCodeFrameSize, Reason: "SETTINGS length not multiple of 6"}
+			}
+			sc.settings.Ack = h.Flags.Has(FlagAck)
+			sc.settings.Settings = sc.settings.Settings[:0]
+			for i := 0; i < len(payload); i += 6 {
+				s := Setting{
+					ID:  SettingID(binary.BigEndian.Uint16(payload[i : i+2])),
+					Val: binary.BigEndian.Uint32(payload[i+2 : i+6]),
+				}
+				if err := s.Valid(); err != nil {
+					return err
+				}
+				sc.settings.Settings = append(sc.settings.Settings, s)
+			}
+			f = &sc.settings
+		case FramePushPromise:
+			// Mirror parsePushPromiseFrame.
+			if h.StreamID == 0 {
+				return ConnectionError{Code: ErrCodeProtocol, Reason: "PUSH_PROMISE on stream 0"}
+			}
+			body, padLen, err := stripPadding(h, payload)
+			if err != nil {
+				return err
+			}
+			if len(body) < 4 {
+				return ConnectionError{Code: ErrCodeFrameSize, Reason: "PUSH_PROMISE truncated"}
+			}
+			sc.push = PushPromiseFrame{
+				StreamID:      h.StreamID,
+				PromiseID:     binary.BigEndian.Uint32(body[:4]) & 0x7fffffff,
+				EndHeaders:    h.Flags.Has(FlagEndHeaders),
+				BlockFragment: body[4:],
+				PadLength:     padLen,
+				Padded:        h.Flags.Has(FlagPadded),
+			}
+			f = &sc.push
+		default:
 			f, err = ParseFramePayload(h, payload)
 			if err != nil {
 				return err

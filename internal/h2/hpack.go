@@ -142,6 +142,18 @@ func (t *dynamicTable) evict() {
 	}
 }
 
+// reset empties the table and restores capacity max, keeping the
+// entries slice's backing array. Vacated slots are zeroed so the
+// table does not pin dead strings.
+func (t *dynamicTable) reset(max uint32) {
+	for i := range t.entries {
+		t.entries[i] = HeaderField{}
+	}
+	t.entries = t.entries[:0]
+	t.size = 0
+	t.maxSize = max
+}
+
 // len returns the number of live entries.
 func (t *dynamicTable) len() int { return len(t.entries) }
 
@@ -264,6 +276,8 @@ type HpackEncoder struct {
 	table       dynamicTable
 	minTableCap uint32 // pending table-size reduction to signal
 	pendingCap  bool
+
+	keyBuf []byte // scratch for the static-index lookup key
 }
 
 // NewHpackEncoder returns an encoder with the given dynamic table
@@ -272,6 +286,15 @@ func NewHpackEncoder(maxTableSize uint32) *HpackEncoder {
 	e := &HpackEncoder{}
 	e.table.maxSize = maxTableSize
 	return e
+}
+
+// Reset restores the encoder to its just-constructed state with the
+// given table capacity, keeping the dynamic table's backing array so
+// a reused encoder compresses without re-allocating it.
+func (e *HpackEncoder) Reset(maxTableSize uint32) {
+	e.table.reset(maxTableSize)
+	e.minTableCap = 0
+	e.pendingCap = false
 }
 
 // SetMaxDynamicTableSize changes the dynamic table capacity; the
@@ -306,8 +329,11 @@ func (e *HpackEncoder) appendField(b []byte, f HeaderField) []byte {
 		return appendHpackString(b, f.Value)
 	}
 
-	// Exact match: indexed representation (1xxxxxxx).
-	if idx, ok := staticIndex[f.Name+"\x00"+f.Value]; ok {
+	// Exact match: indexed representation (1xxxxxxx). The key is
+	// assembled in a scratch buffer; the map probe with a string(...)
+	// conversion compiles without a temporary string allocation.
+	e.keyBuf = append(append(append(e.keyBuf[:0], f.Name...), 0), f.Value...)
+	if idx, ok := staticIndex[string(e.keyBuf)]; ok {
 		return appendHpackInt(b, 0x80, 7, idx)
 	}
 	if didx, exact := e.table.search(f); exact {
@@ -349,6 +375,14 @@ type HpackDecoder struct {
 	// MaxHeaderListSize caps the total decoded size (sum of
 	// RFC 7541 entry sizes). Zero means no limit.
 	MaxHeaderListSize uint32
+
+	// fields is the DecodeFullReuse scratch; huffBuf is the Huffman
+	// decode scratch; strings interns decoded literals so repeated
+	// header values (paths, status codes) cost one allocation ever
+	// rather than one per block.
+	fields  []HeaderField
+	huffBuf []byte
+	strings map[string]string
 }
 
 // NewHpackDecoder returns a decoder whose dynamic table is capped at
@@ -359,13 +393,84 @@ func NewHpackDecoder(maxTableSize uint32) *HpackDecoder {
 	return d
 }
 
+// Reset restores protocol state (dynamic table and its capacity) to
+// what NewHpackDecoder(maxTableSize) would produce, so a reused
+// decoder tracks a fresh peer encoder. Decode scratch and the string
+// intern cache are deliberately kept: they hold no protocol state,
+// and identical literals decode to equal strings either way.
+func (d *HpackDecoder) Reset(maxTableSize uint32) {
+	d.table.reset(maxTableSize)
+	d.maxAllowedTableSize = maxTableSize
+}
+
+// intern returns a string equal to b, reusing a previously decoded
+// instance when available. The cache only ever grows, which is fine
+// for the simulator's closed header vocabulary.
+func (d *HpackDecoder) intern(b []byte) string {
+	if s, ok := d.strings[string(b)]; ok { // no-alloc map probe
+		return s
+	}
+	if d.strings == nil {
+		d.strings = make(map[string]string)
+	}
+	s := string(b)
+	d.strings[s] = s
+	return s
+}
+
+// readString decodes an HPACK string literal using the decoder's
+// Huffman scratch and intern cache; allocation-free for literals seen
+// before.
+func (d *HpackDecoder) readString(b []byte) (s string, rest []byte, err error) {
+	if len(b) == 0 {
+		return "", nil, errNeedMore
+	}
+	huff := b[0]&0x80 != 0
+	n, b, err := readHpackInt(b, 7)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(b)) < n {
+		return "", nil, errNeedMore
+	}
+	raw, rest := b[:n], b[n:]
+	if !huff {
+		return d.intern(raw), rest, nil
+	}
+	dec, err := HuffmanDecode(d.huffBuf[:0], raw)
+	if err != nil {
+		return "", nil, err
+	}
+	d.huffBuf = dec
+	return d.intern(dec), rest, nil
+}
+
 // DecodeFull decodes a complete header block (all fragments already
-// concatenated).
+// concatenated). The returned slice is freshly allocated and owned by
+// the caller; the allocation-free variant is DecodeFullReuse.
 func (d *HpackDecoder) DecodeFull(block []byte) ([]HeaderField, error) {
-	var (
-		fields   []HeaderField
-		listSize uint32
-	)
+	fields, err := d.decodeFull(nil, block)
+	if err != nil {
+		return nil, err
+	}
+	return fields, nil
+}
+
+// DecodeFullReuse is DecodeFull with recycled storage: the returned
+// slice is scratch owned by the decoder, valid only until the next
+// decode call. In steady state (every literal seen before) it
+// allocates nothing.
+func (d *HpackDecoder) DecodeFullReuse(block []byte) ([]HeaderField, error) {
+	fields, err := d.decodeFull(d.fields[:0], block)
+	d.fields = fields
+	if err != nil {
+		return nil, err
+	}
+	return fields, nil
+}
+
+func (d *HpackDecoder) decodeFull(fields []HeaderField, block []byte) ([]HeaderField, error) {
+	var listSize uint32
 	b := block
 	seenField := false
 	for len(b) > 0 {
@@ -374,12 +479,12 @@ func (d *HpackDecoder) DecodeFull(block []byte) ([]HeaderField, error) {
 		case octet&0x80 != 0: // indexed field
 			idx, rest, err := readHpackInt(b, 7)
 			if err != nil {
-				return nil, d.wrap(err)
+				return fields, d.wrap(err)
 			}
 			b = rest
 			f, err := d.fieldAt(idx)
 			if err != nil {
-				return nil, err
+				return fields, err
 			}
 			fields, listSize = append(fields, f), listSize+f.size()
 			seenField = true
@@ -387,7 +492,7 @@ func (d *HpackDecoder) DecodeFull(block []byte) ([]HeaderField, error) {
 		case octet&0xc0 == 0x40: // literal, incremental indexing
 			f, rest, err := d.readLiteral(b, 6)
 			if err != nil {
-				return nil, d.wrap(err)
+				return fields, d.wrap(err)
 			}
 			b = rest
 			d.table.add(f)
@@ -396,14 +501,14 @@ func (d *HpackDecoder) DecodeFull(block []byte) ([]HeaderField, error) {
 
 		case octet&0xe0 == 0x20: // dynamic table size update
 			if seenField {
-				return nil, ConnectionError{Code: ErrCodeCompression, Reason: "table size update after field"}
+				return fields, ConnectionError{Code: ErrCodeCompression, Reason: "table size update after field"}
 			}
 			v, rest, err := readHpackInt(b, 5)
 			if err != nil {
-				return nil, d.wrap(err)
+				return fields, d.wrap(err)
 			}
 			if v > uint64(d.maxAllowedTableSize) {
-				return nil, ConnectionError{Code: ErrCodeCompression, Reason: "table size update exceeds limit"}
+				return fields, ConnectionError{Code: ErrCodeCompression, Reason: "table size update exceeds limit"}
 			}
 			d.table.setMaxSize(uint32(v))
 			b = rest
@@ -411,7 +516,7 @@ func (d *HpackDecoder) DecodeFull(block []byte) ([]HeaderField, error) {
 		default: // literal without indexing (0000) or never-indexed (0001)
 			f, rest, err := d.readLiteral(b, 4)
 			if err != nil {
-				return nil, d.wrap(err)
+				return fields, d.wrap(err)
 			}
 			f.Sensitive = octet&0x10 != 0
 			b = rest
@@ -419,7 +524,7 @@ func (d *HpackDecoder) DecodeFull(block []byte) ([]HeaderField, error) {
 			seenField = true
 		}
 		if d.MaxHeaderListSize != 0 && listSize > d.MaxHeaderListSize {
-			return nil, ErrHeaderListTooLong
+			return fields, ErrHeaderListTooLong
 		}
 	}
 	return fields, nil
@@ -440,12 +545,12 @@ func (d *HpackDecoder) readLiteral(b []byte, n uint8) (HeaderField, []byte, erro
 		}
 		f.Name = ref.Name
 	} else {
-		f.Name, b, err = readHpackString(b)
+		f.Name, b, err = d.readString(b)
 		if err != nil {
 			return HeaderField{}, nil, err
 		}
 	}
-	f.Value, b, err = readHpackString(b)
+	f.Value, b, err = d.readString(b)
 	if err != nil {
 		return HeaderField{}, nil, err
 	}

@@ -166,7 +166,10 @@ type Client struct {
 	dryStalls    int           // stalls since the last completion, within a burst
 	lastStall    time.Duration // time of the most recent stall
 	refetchQ     []int         // post-reset refetch queue (object IDs)
-	refetchOut   int           // outstanding refetches from the queue
+	refetchBack  []int         // refetchQ's backing array (refetchQ is sliced forward)
+	docsScratch  []int         // resetAll priority-partition scratch
+	restScratch  []int
+	refetchOut   int // outstanding refetches from the queue
 
 	// Per-request scratch, hoisted so issuing requests and parsing
 	// responses allocate only per-stream state, not per-byte-chunk:
@@ -175,8 +178,17 @@ type Client struct {
 	recBuf   []byte
 	frameBuf []byte
 	blockBuf []byte
+	hdrFrame h2.HeadersFrame // scratch: a stack literal would escape through AppendFrame
 	sbuf     []*clientStream
 	frameCb  func(h2.Frame) error
+	issueFn  func(any) // AfterArg callback for scheduled issues
+
+	// Recycled per-stream and per-object state. A pooled clientStream
+	// keeps its stall Timer (whose generation counter makes any stale
+	// queued firing a no-op), so steady-state request issuance
+	// allocates nothing.
+	sfree []*clientStream
+	ofree []*objState
 
 	// Stats accumulates counters; Requests lists every issued request.
 	Stats    ClientStats
@@ -187,28 +199,109 @@ type Client struct {
 }
 
 // NewClient builds the client for a site. Call Attach then Start.
+// Construction is skeleton allocation plus Reset, so a freshly built
+// client and a reused one start every trial in identical state by
+// construction.
 func NewClient(s *sim.Simulator, cfg ClientConfig, site *website.Site) *Client {
 	c := &Client{
-		s:            s,
-		cfg:          cfg.withDefaults(),
-		site:         site,
-		hdec:         h2.NewHpackDecoder(4096),
-		henc:         h2.NewHpackEncoder(4096),
-		streams:      make(map[uint32]*clientStream),
-		objects:      make(map[int]*objState),
-		nextStreamID: 1,
-		copyCounter:  make(map[int]int),
-		stallMult:    1,
-	}
-	for _, o := range site.Objects {
-		o := o
-		c.objects[o.ID] = &objState{obj: o}
+		s:           s,
+		hdec:        h2.NewHpackDecoder(4096),
+		henc:        h2.NewHpackEncoder(4096),
+		streams:     make(map[uint32]*clientStream),
+		objects:     make(map[int]*objState),
+		copyCounter: make(map[int]int),
 	}
 	c.frameCb = func(f h2.Frame) error {
 		c.handleFrame(f)
 		return nil
 	}
+	c.issueFn = func(a any) { c.issue(a.(int), false) }
+	c.Reset(cfg, site)
 	return c
+}
+
+// Reset returns the client to its just-constructed state for a new
+// trial: configuration and site swapped in, protocol state (HPACK
+// tables, scanners, stream table, object states, counters) rewound,
+// stats zeroed. Stream and object-state structs are recycled; the
+// Requests log is released (not truncated) because the previous
+// trial's result may still reference it. Call after the simulator has
+// been Reset, then Attach and Start.
+func (c *Client) Reset(cfg ClientConfig, site *website.Site) {
+	c.cfg = cfg.withDefaults()
+	c.site = site
+	c.tcp = nil
+	c.opener.Reset()
+	c.scanner.Reset()
+	c.hdec.Reset(4096)
+	c.henc.Reset(4096)
+	for id, st := range c.streams {
+		st.stall.Stop()
+		c.sfree = append(c.sfree, st)
+		delete(c.streams, id)
+	}
+	for id, os := range c.objects {
+		c.ofree = append(c.ofree, os)
+		delete(c.objects, id)
+	}
+	for _, o := range site.Objects {
+		os := c.getObjState()
+		os.obj = o
+		c.objects[o.ID] = os
+	}
+	c.nextStreamID = 1
+	clear(c.copyCounter)
+	c.stallMult = 1
+	c.bytesOut = 0
+	c.dryStalls = 0
+	c.lastStall = 0
+	c.refetchQ = c.refetchQ[:0]
+	c.refetchOut = 0
+	for i := range c.sbuf {
+		c.sbuf[i] = nil
+	}
+	c.sbuf = c.sbuf[:0]
+	c.Stats = ClientStats{}
+	// Requests escapes into the trial result, so it must be freshly
+	// allocated (never truncated) — but sized to the schedule so the
+	// log grows in one allocation instead of a doubling chain.
+	c.Requests = make([]RequestLog, 0, len(site.Schedule)+8)
+	c.OnComplete = nil
+}
+
+// getStream returns a recycled stream (zeroed, keeping its prebuilt
+// stall timer) or a fresh one. The timer's generation counter makes
+// any stale firing queued for the stream's previous life a no-op.
+func (c *Client) getStream() *clientStream {
+	if n := len(c.sfree); n > 0 {
+		st := c.sfree[n-1]
+		c.sfree[n-1] = nil
+		c.sfree = c.sfree[:n-1]
+		*st = clientStream{stall: st.stall}
+		return st
+	}
+	st := &clientStream{}
+	st.stall = c.s.NewTimer(func() { c.onStall(st) })
+	return st
+}
+
+// freeStream stops the stream's timer and recycles it. The caller
+// must not touch st afterwards.
+func (c *Client) freeStream(st *clientStream) {
+	st.stall.Stop()
+	c.sfree = append(c.sfree, st)
+}
+
+// getObjState returns a recycled (zeroed) object state or a fresh one.
+func (c *Client) getObjState() *objState {
+	if n := len(c.ofree); n > 0 {
+		os := c.ofree[n-1]
+		c.ofree[n-1] = nil
+		c.ofree = c.ofree[:n-1]
+		*os = objState{}
+		return os
+	}
+	return &objState{}
 }
 
 // Attach wires the client to its TCP endpoint and announces SETTINGS.
@@ -234,16 +327,17 @@ func (c *Client) writeRecord(plaintext []byte) (start, end uint32) {
 // simulation time.
 func (c *Client) Start() {
 	at := time.Duration(0)
-	for i, spec := range c.site.Schedule {
+	for _, spec := range c.site.Schedule {
 		gap := spec.Gap
 		if c.cfg.GapNoiseFrac > 0 && gap > 0 {
 			f := 1 + c.cfg.GapNoiseFrac*(2*c.s.Rand().Float64()-1)
 			gap = time.Duration(float64(gap) * f)
 		}
 		at += gap
-		objID := spec.ObjectID
-		_ = i
-		c.s.After(at, func() { c.issue(objID, false) })
+		// AfterArg with the prebuilt callback: no per-entry closure,
+		// and small ints box allocation-free (the runtime preboxes
+		// values < 256, which covers every object ID).
+		c.s.AfterArg(at, c.issueFn, spec.ObjectID)
 	}
 }
 
@@ -274,20 +368,22 @@ func (c *Client) issue(objectID int, reissue bool) {
 		{Name: ":authority", Value: "www.isidewith.test"},
 		{Name: ":path", Value: os.obj.Path},
 	})
-	c.frameBuf = h2.AppendFrame(c.frameBuf[:0], &h2.HeadersFrame{
+	c.hdrFrame = h2.HeadersFrame{
 		StreamID:      id,
 		BlockFragment: c.blockBuf,
 		EndHeaders:    true,
 		EndStream:     true,
-	})
+	}
+	c.frameBuf = h2.AppendFrame(c.frameBuf[:0], &c.hdrFrame)
 	reqStart, reqEnd := c.writeRecord(c.frameBuf)
 	c.Stats.Requests++
 	c.Requests = append(c.Requests, RequestLog{
 		Time: c.s.Now(), ObjectID: objectID, CopyID: copyID, StreamID: id, ReIssue: reissue,
 	})
 
-	st := &clientStream{id: id, objectID: objectID, copyID: copyID, reqStart: reqStart, reqEnd: reqEnd}
-	st.stall = c.s.NewTimer(func() { c.onStall(st) })
+	st := c.getStream()
+	st.id, st.objectID, st.copyID = id, objectID, copyID
+	st.reqStart, st.reqEnd = reqStart, reqEnd
 	st.stall.Reset(c.stallTimeout())
 	c.streams[id] = st
 }
@@ -386,7 +482,7 @@ func (c *Client) handleFrame(f h2.Frame) {
 // response will arrive on PromiseID, and the client will not request
 // the resource itself.
 func (c *Client) handlePushPromise(f *h2.PushPromiseFrame) {
-	fields, err := c.hdec.DecodeFull(f.BlockFragment)
+	fields, err := c.hdec.DecodeFullReuse(f.BlockFragment)
 	if err != nil {
 		return
 	}
@@ -405,23 +501,26 @@ func (c *Client) handlePushPromise(f *h2.PushPromiseFrame) {
 		return
 	}
 	os.pushed = true
-	st := &clientStream{id: f.PromiseID, objectID: obj.ID, copyID: c.copyCounter[obj.ID]}
+	st := c.getStream()
+	st.id, st.objectID, st.copyID = f.PromiseID, obj.ID, c.copyCounter[obj.ID]
 	c.copyCounter[obj.ID]++
-	st.stall = c.s.NewTimer(func() { c.onStall(st) })
 	st.stall.Reset(c.stallTimeout())
 	c.streams[f.PromiseID] = st
 }
 
-// finishStream handles END_STREAM on a live stream.
+// finishStream handles END_STREAM on a live stream. The stream is
+// recycled immediately (its stall timer's generation guard disarms
+// any stale queued firing), so the body works from copied locals.
 func (c *Client) finishStream(st *clientStream) {
 	st.done = true
-	st.stall.Stop()
+	objectID, received := st.objectID, st.received
 	delete(c.streams, st.id)
-	os := c.objects[st.objectID]
+	c.freeStream(st)
+	os := c.objects[objectID]
 	if os == nil || os.complete {
 		return
 	}
-	if st.received >= os.obj.Size {
+	if received >= os.obj.Size {
 		os.complete = true
 		os.completedAt = c.s.Now()
 		c.Stats.Completed++
@@ -432,20 +531,20 @@ func (c *Client) finishStream(st *clientStream) {
 		}
 		// Quiesce sibling copies' timers: the object is done.
 		for _, other := range c.streams {
-			if other.objectID == st.objectID {
+			if other.objectID == objectID {
 				other.stall.Stop()
 			}
 		}
 		if c.OnComplete != nil {
-			c.OnComplete(st.objectID)
+			c.OnComplete(objectID)
 		}
 	}
 }
 
 func (c *Client) closeStream(st *clientStream) {
 	st.closed = true
-	st.stall.Stop()
 	delete(c.streams, st.id)
+	c.freeStream(st)
 }
 
 // streamsByID snapshots the open streams in ascending stream-id
@@ -541,7 +640,7 @@ func (c *Client) resetAll() {
 		// first, then the rest in schedule order (the paper: "the
 		// client resends GET requests if a high priority object is
 		// not yet received" — and only then the rest).
-		var docs, rest []int
+		docs, rest := c.docsScratch[:0], c.restScratch[:0]
 		for _, spec := range c.site.Schedule {
 			os := c.objects[spec.ObjectID]
 			if os == nil || !os.requested || os.complete {
@@ -553,11 +652,13 @@ func (c *Client) resetAll() {
 				rest = append(rest, spec.ObjectID)
 			}
 		}
+		c.docsScratch, c.restScratch = docs, rest
 		// Refetch conservatively: a small window of outstanding
 		// refetches, paced by completions, so the recovering
 		// connection serves them near-serially (the single-threaded
 		// mode the paper observes after a reset).
-		c.refetchQ = append(docs, rest...)
+		c.refetchQ = append(append(c.refetchBack[:0], docs...), rest...)
+		c.refetchBack = c.refetchQ
 		c.refetchOut = 0
 		c.pumpRefetch()
 	})

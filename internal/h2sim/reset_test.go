@@ -1,0 +1,80 @@
+package h2sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/website"
+)
+
+// tracesEqual compares two traces element-wise (capacity and nilness
+// of the backing arrays are irrelevant — a reused trace keeps its
+// arrays, a fresh one grows them).
+func tracesEqual(t *testing.T, name string, a, b *trace.Trace) {
+	t.Helper()
+	if len(a.Packets) != len(b.Packets) {
+		t.Errorf("%s: packet count %d != %d", name, len(a.Packets), len(b.Packets))
+		return
+	}
+	for i := range a.Packets {
+		if a.Packets[i] != b.Packets[i] {
+			t.Errorf("%s: packet %d: %+v != %+v", name, i, a.Packets[i], b.Packets[i])
+			return
+		}
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Errorf("%s: record count %d != %d", name, len(a.Records), len(b.Records))
+		return
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Errorf("%s: record %d: %+v != %+v", name, i, a.Records[i], b.Records[i])
+			return
+		}
+	}
+	if len(a.Frames) != len(b.Frames) {
+		t.Errorf("%s: frame count %d != %d", name, len(a.Frames), len(b.Frames))
+		return
+	}
+	for i := range a.Frames {
+		if a.Frames[i] != b.Frames[i] {
+			t.Errorf("%s: frame %d: %+v != %+v", name, i, a.Frames[i], b.Frames[i])
+			return
+		}
+	}
+}
+
+// TestSessionResetReplaysFreshRun is the session-level reuse
+// contract: a session dirtied by trials at other seeds and then Reset
+// to a target (site, cfg, seed) must produce the same wire trace and
+// ground truth, byte for byte, as a session freshly constructed for
+// that target.
+func TestSessionResetReplaysFreshRun(t *testing.T) {
+	site := website.Survey(website.IdentityPermutation())
+	targetCfg := SessionConfig{Seed: 77, RandomizeAmbient: true}
+
+	fresh := NewSession(site, targetCfg)
+	fresh.Run()
+
+	reused := NewSession(site, SessionConfig{Seed: 5, RandomizeAmbient: true})
+	reused.Run()
+	otherSite := website.Survey(website.RandomPermutation(rand.New(rand.NewSource(9))))
+	reused.Reset(otherSite, SessionConfig{Seed: 6})
+	reused.Run()
+	reused.Reset(site, targetCfg)
+	reused.Run()
+
+	tracesEqual(t, "capture", fresh.Capture, reused.Capture)
+	tracesEqual(t, "ground truth", fresh.GroundTruth, reused.GroundTruth)
+	if fresh.Client.Stats != reused.Client.Stats {
+		t.Errorf("client stats: fresh %+v != reused %+v", fresh.Client.Stats, reused.Client.Stats)
+	}
+	if fresh.Server.Stats != reused.Server.Stats {
+		t.Errorf("server stats: fresh %+v != reused %+v", fresh.Server.Stats, reused.Server.Stats)
+	}
+	if fresh.TotalRetransmissions() != reused.TotalRetransmissions() {
+		t.Errorf("retransmissions: fresh %d != reused %d",
+			fresh.TotalRetransmissions(), reused.TotalRetransmissions())
+	}
+}

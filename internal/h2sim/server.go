@@ -126,6 +126,13 @@ type Server struct {
 	nextPushID    uint32      // next server-initiated (even) stream id
 	pushedAlready map[string]bool
 
+	// Worker recycling. wfree holds workers ready for reuse; parked
+	// holds cancelled workers whose already-scheduled step event has
+	// not fired yet (reusing one early would let the stale event drive
+	// the wrong stream), reclaimed wholesale at the next Reset.
+	wfree  []*worker
+	parked []*worker
+
 	// Per-chunk scratch, hoisted so the steady-state transmit path
 	// (worker.step → writeRecord) allocates nothing: record/frame/
 	// header-block build buffers, the synthetic body (content never
@@ -134,6 +141,7 @@ type Server struct {
 	recBuf   []byte
 	frameBuf []byte
 	blockBuf []byte
+	hdrFrame h2.HeadersFrame // scratch: a stack literal would escape through AppendFrame
 	zeroBody []byte
 	dataF    h2.DataFrame
 	frameCb  func(h2.Frame) error
@@ -143,24 +151,79 @@ type Server struct {
 }
 
 // NewServer builds the server for a site. Call Attach before running.
+// Construction is skeleton allocation plus Reset, so a freshly built
+// server and a reused one start every trial in identical state by
+// construction.
 func NewServer(s *sim.Simulator, cfg ServerConfig, site *website.Site) *Server {
 	sv := &Server{
 		s:             s,
-		cfg:           cfg.withDefaults(),
-		site:          site,
 		hdec:          h2.NewHpackDecoder(4096),
 		henc:          h2.NewHpackEncoder(4096),
 		workers:       make(map[uint32]*worker),
 		copies:        make(map[int]int),
-		nextPushID:    2,
 		pushedAlready: make(map[string]bool),
 	}
-	sv.zeroBody = make([]byte, sv.cfg.ChunkPlain)
 	sv.frameCb = func(f h2.Frame) error {
 		sv.handleFrame(f)
 		return nil
 	}
+	sv.Reset(cfg, site)
 	return sv
+}
+
+// Reset returns the server to its just-constructed state for a new
+// trial: configuration and site swapped in, protocol state (HPACK
+// tables, stream scanners, stream-id counters, worker set) rewound,
+// stats zeroed. All scratch capacity and recycled workers are kept.
+// Call after the simulator has been Reset, then Attach.
+func (sv *Server) Reset(cfg ServerConfig, site *website.Site) {
+	sv.cfg = cfg.withDefaults()
+	sv.site = site
+	sv.tcp = nil
+	sv.opener.Reset()
+	sv.scanner.Reset()
+	sv.hdec.Reset(4096)
+	sv.henc.Reset(4096)
+	sv.GroundTruth = nil
+	sv.offset = 0
+	// Recycle leftover workers: with the event queue already cleared,
+	// no stale step event can reference them. Map order does not
+	// matter — recycled workers are interchangeable once zeroed.
+	for id, w := range sv.workers {
+		sv.wfree = append(sv.wfree, w)
+		delete(sv.workers, id)
+	}
+	for i, w := range sv.parked {
+		sv.wfree = append(sv.wfree, w)
+		sv.parked[i] = nil
+	}
+	sv.parked = sv.parked[:0]
+	clear(sv.copies)
+	sv.nextPushID = 2
+	clear(sv.pushedAlready)
+	if cap(sv.zeroBody) < sv.cfg.ChunkPlain {
+		sv.zeroBody = make([]byte, sv.cfg.ChunkPlain)
+	} else {
+		sv.zeroBody = sv.zeroBody[:sv.cfg.ChunkPlain]
+	}
+	sv.Stats = ServerStats{}
+}
+
+// getWorker returns a recycled worker reinitialized for a stream, or
+// a fresh one with its step callback prebuilt.
+func (sv *Server) getWorker(streamID uint32, obj website.Object, copyID int) *worker {
+	if n := len(sv.wfree); n > 0 {
+		w := sv.wfree[n-1]
+		sv.wfree[n-1] = nil
+		sv.wfree = sv.wfree[:n-1]
+		*w = worker{sv: sv, streamID: streamID, obj: obj, copyID: copyID,
+			stepFn: w.stepFn, sendFn: w.sendFn}
+		return w
+	}
+	w := &worker{sv: sv, streamID: streamID, obj: obj, copyID: copyID}
+	w.stepFn = w.step
+	w.sendFn = w.sendHeaders
+	return w
 }
 
 // Attach wires the server to its TCP endpoint and announces SETTINGS.
@@ -212,9 +275,12 @@ func (sv *Server) handleFrame(f h2.Frame) {
 			// Flush the stream: the worker stops enqueueing segments
 			// (paper section IV-D: "the server closes the stream and
 			// flushes the corresponding object segments from its
-			// queue").
+			// queue"). Its pending step event still references it, so
+			// park it for recycling at the next Reset rather than
+			// reusing it immediately.
 			w.cancelled = true
 			delete(sv.workers, fv.StreamID)
+			sv.parked = append(sv.parked, w)
 		}
 	case *h2.SettingsFrame:
 		if !fv.Ack {
@@ -230,7 +296,7 @@ func (sv *Server) handleFrame(f h2.Frame) {
 // duplicates from client re-requests — the multi-threaded behaviour
 // the paper observed causing intensified multiplexing.
 func (sv *Server) handleRequest(f *h2.HeadersFrame) {
-	fields, err := sv.hdec.DecodeFull(f.BlockFragment)
+	fields, err := sv.hdec.DecodeFullReuse(f.BlockFragment)
 	if err != nil {
 		return
 	}
@@ -257,9 +323,9 @@ func (sv *Server) handleRequest(f *h2.HeadersFrame) {
 			return
 		}
 	}
-	w := newWorker(sv, f.StreamID, obj, copyID)
+	w := sv.getWorker(f.StreamID, obj, copyID)
 	sv.workers[f.StreamID] = w
-	sv.s.After(sv.cfg.HeaderDelay, w.sendHeaders)
+	sv.s.After(sv.cfg.HeaderDelay, w.sendFn)
 	sv.pushFor(obj.Path, f.StreamID)
 }
 
@@ -292,9 +358,9 @@ func (sv *Server) pushFor(path string, parentStream uint32) {
 		sv.writeRecord(tlsrec.TypeAppData, sv.frameBuf)
 		copyID := sv.copies[obj.ID]
 		sv.copies[obj.ID]++
-		w := newWorker(sv, promiseID, obj, copyID)
+		w := sv.getWorker(promiseID, obj, copyID)
 		sv.workers[promiseID] = w
-		sv.s.After(sv.cfg.HeaderDelay, w.sendHeaders)
+		sv.s.After(sv.cfg.HeaderDelay, w.sendFn)
 	}
 }
 
@@ -325,7 +391,9 @@ func (sv *Server) serviceInterval() time.Duration {
 	return d
 }
 
-// worker is one server "thread" streaming one object copy.
+// worker is one server "thread" streaming one object copy. Workers
+// are recycled through Server.wfree (see getWorker); the stepFn
+// method value is created once per worker object and survives reuse.
 type worker struct {
 	sv        *Server
 	streamID  uint32
@@ -334,13 +402,7 @@ type worker struct {
 	sent      int
 	cancelled bool
 	stepFn    func() // w.step, created once: rescheduling allocates no method value
-}
-
-// newWorker constructs a worker with its step callback prebuilt.
-func newWorker(sv *Server, streamID uint32, obj website.Object, copyID int) *worker {
-	w := &worker{sv: sv, streamID: streamID, obj: obj, copyID: copyID}
-	w.stepFn = w.step
-	return w
+	sendFn    func() // w.sendHeaders, created once, same reason
 }
 
 // sendHeaders emits the response HEADERS record and schedules the
@@ -354,11 +416,12 @@ func (w *worker) sendHeaders() {
 		{Name: ":status", Value: "200"},
 		{Name: "content-type", Value: "application/octet-stream"},
 	})
-	sv.frameBuf = h2.AppendFrame(sv.frameBuf[:0], &h2.HeadersFrame{
+	sv.hdrFrame = h2.HeadersFrame{
 		StreamID:      w.streamID,
 		BlockFragment: sv.blockBuf,
 		EndHeaders:    true,
-	})
+	}
+	sv.frameBuf = h2.AppendFrame(sv.frameBuf[:0], &sv.hdrFrame)
 	off, n := sv.writeRecord(tlsrec.TypeAppData, sv.frameBuf)
 	if sv.GroundTruth != nil {
 		sv.GroundTruth.AddFrame(trace.FrameEvent{
@@ -423,7 +486,10 @@ func (w *worker) step() {
 		})
 	}
 	if end {
+		// The completed worker has no pending events left (this firing
+		// was its only one), so it can be reused immediately.
 		delete(sv.workers, w.streamID)
+		sv.wfree = append(sv.wfree, w)
 		return
 	}
 	sv.s.After(sv.serviceInterval(), w.stepFn)

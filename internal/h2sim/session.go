@@ -98,10 +98,40 @@ type Session struct {
 	cfg SessionConfig
 }
 
-// NewSession wires up a trial for the given site.
+// NewSession wires up a trial for the given site. Construction builds
+// a side-effect-free skeleton (no SETTINGS exchanged, no randomness
+// consumed) and then calls Reset, so a fresh session and a reused one
+// run any given (site, cfg, seed) identically by construction.
 func NewSession(site *website.Site, cfg SessionConfig) *Session {
+	s := sim.New(0)
+	sess := &Session{
+		Sim:         s,
+		Capture:     &trace.Trace{},
+		GroundTruth: &trace.Trace{},
+	}
+	sess.Server = NewServer(s, ServerConfig{}, site)
+	sess.Client = NewClient(s, ClientConfig{}, site)
+	sess.Conn = tcpsim.NewConn(s, netem.PathConfig{}, tcpsim.Config{},
+		sess.Client.OnBytes,
+		sess.Server.OnBytes,
+	)
+	sess.Reset(site, cfg)
+	return sess
+}
+
+// Reset rewinds the whole stack for a new trial: simulator re-seeded,
+// in-flight packets reclaimed into the pool, every layer returned to
+// its just-built state for the new site and configuration, and the
+// construction-time side effects (ambient randomization draws, the
+// SETTINGS exchange from both Attach calls) replayed in the exact
+// order NewSession performs them — which is what makes a reused
+// session's wire trace byte-identical to a fresh session's at the
+// same seed.
+func (sess *Session) Reset(site *website.Site, cfg SessionConfig) {
 	cfg = cfg.withDefaults()
-	s := sim.New(cfg.Seed)
+	s := sess.Sim
+	sess.Conn.Path.ReclaimPending(s)
+	s.Reset(cfg.Seed)
 	s.MaxSteps = 50_000_000
 
 	if cfg.RandomizeAmbient {
@@ -113,26 +143,18 @@ func NewSession(site *website.Site, cfg SessionConfig) *Session {
 		cfg.Path.ClientSide.PropDelay = time.Millisecond +
 			time.Duration(rng.Int63n(int64(3*time.Millisecond)))
 	}
-	sess := &Session{
-		Sim:         s,
-		Site:        site,
-		Capture:     &trace.Trace{},
-		GroundTruth: &trace.Trace{},
-		cfg:         cfg,
-	}
-	sess.Server = NewServer(s, cfg.Server, site)
-	sess.Client = NewClient(s, cfg.Client, site)
+	sess.Site = site
+	sess.cfg = cfg
+	sess.Capture.Reset()
+	sess.GroundTruth.Reset()
+	sess.Server.Reset(cfg.Server, site)
+	sess.Client.Reset(cfg.Client, site)
 	sess.Server.GroundTruth = sess.GroundTruth
-
-	sess.Conn = tcpsim.NewConn(s, cfg.Path, cfg.TCP,
-		sess.Client.OnBytes,
-		sess.Server.OnBytes,
-	)
+	sess.Conn.Reset(cfg.Path, cfg.TCP)
 	sess.Conn.Path.Mbox.Capture = sess.Capture
 	sess.Client.Attach(sess.Conn.Client)
 	sess.Server.Attach(sess.Conn.Server)
 	sess.Conn.Client.OnRetransmit = sess.Client.OnTCPRetransmit
-	return sess
 }
 
 // Middlebox returns the compromised vantage point for adversary

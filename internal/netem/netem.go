@@ -181,6 +181,17 @@ func NewLink(s *sim.Simulator, cfg LinkConfig, dst Handler) *Link {
 // receiver's to release.
 func (l *Link) SetPool(pp *PacketPool) { l.pool = pp }
 
+// Reset returns the link to the state NewLink(s, cfg, dst) would
+// produce, keeping the destination handler, the delivery callback,
+// and the attached pool. Used by reusable trial worlds to reconfigure
+// a link between trials without rebuilding it.
+func (l *Link) Reset(cfg LinkConfig) {
+	l.cfg = cfg.withDefaults()
+	l.nextFree = 0
+	l.lastArrival = 0
+	l.Stats = LinkStats{}
+}
+
 // SetRate changes the serialization rate (bits per second; zero means
 // infinite). Takes effect for subsequently sent packets.
 func (l *Link) SetRate(bps int64) { l.cfg.RateBitsPerSec = bps }
@@ -334,6 +345,17 @@ func NewMiddlebox(s *sim.Simulator, toServer, toClient *Link) *Middlebox {
 // the interceptor drops.
 func (m *Middlebox) SetPool(pp *PacketPool) { m.pool = pp }
 
+// Reset clears the middlebox's per-trial state — hooks, stats, and
+// both reassemblers — keeping the link wiring, callbacks, and pool.
+func (m *Middlebox) Reset() {
+	m.Interceptor = nil
+	m.Tap = nil
+	m.Capture = nil
+	m.Stats.Passed, m.Stats.Dropped, m.Stats.Delayed = 0, 0, 0
+	m.asmC2S.reset()
+	m.asmS2C.reset()
+}
+
 // linkFor returns the outgoing link for a direction.
 func (m *Middlebox) linkFor(dir trace.Direction) *Link {
 	if dir == trace.ServerToClient {
@@ -472,6 +494,20 @@ func (r *reassembler) dropHead() {
 	}
 }
 
+// reset forgets stream position and held segments, recycling their
+// buffers (and keeping the scratch) for the next stream.
+func (r *reassembler) reset() {
+	r.next = 0
+	r.started = false
+	for i := range r.held {
+		if buf := r.held[i].buf; buf != nil {
+			r.spare = append(r.spare, buf[:0])
+		}
+		r.held[i] = heldSeg{}
+	}
+	r.held = r.held[:0]
+}
+
 // getSpare returns a recycled zero-length hold buffer, or nil.
 func (r *reassembler) getSpare() []byte {
 	if n := len(r.spare); n > 0 {
@@ -534,6 +570,31 @@ func NewPath(s *sim.Simulator, cfg PathConfig, clientRecv, serverRecv Handler) *
 		l.SetPool(pool)
 	}
 	return p
+}
+
+// Reset restores all four links to cfg and clears the middlebox, as
+// NewPath would, keeping every allocation (links, callbacks, pool and
+// its contents) so a reused path forwards allocation-free from the
+// first packet of the next trial.
+func (p *Path) Reset(cfg PathConfig) {
+	p.LinkC2M.Reset(cfg.ClientSide)
+	p.LinkM2C.Reset(cfg.ClientSide)
+	p.LinkS2M.Reset(cfg.ServerSide)
+	p.LinkM2S.Reset(cfg.ServerSide)
+	p.Mbox.Reset()
+}
+
+// ReclaimPending returns every packet still riding the simulator's
+// event queue (in flight on a link or held by the middlebox) to the
+// path's pool. Call it immediately before sim.Reset discards the
+// queue, so a reused world does not leak its in-flight packets to the
+// garbage collector each trial.
+func (p *Path) ReclaimPending(s *sim.Simulator) {
+	s.ForEachPendingArg(func(a any) {
+		if pkt, ok := a.(*Packet); ok {
+			p.Pool.Put(pkt)
+		}
+	})
 }
 
 // SendFromClient injects a client packet into the path.

@@ -83,6 +83,24 @@ func (e *TrialError) Error() string {
 // index-derived seeds the returned slice is identical for every
 // worker count.
 func Run[T any](n int, opts Options, fn func(index int) T) ([]T, []*TrialError) {
+	return RunWith(n, opts,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) T { return fn(i) })
+}
+
+// RunWith is Run with per-worker reusable state: newState builds one
+// S per worker goroutine (one total on the serial path) and fn
+// receives that worker's state alongside the trial index. This is how
+// the sweeps amortize expensive per-trial setup — each worker keeps
+// one reusable trial world and resets it per index.
+//
+// The determinism contract extends accordingly: fn(state, i) must
+// return a result that depends only on i, treating state purely as a
+// reusable arena (re-initialized from the index-derived seed), never
+// as a channel between trials. Which worker's state a trial sees
+// depends on scheduling; any state leak shows up as worker-count-
+// dependent output.
+func RunWith[S, T any](n int, opts Options, newState func() S, fn func(state S, index int) T) ([]T, []*TrialError) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -98,18 +116,21 @@ func Run[T any](n int, opts Options, fn func(index int) T) ([]T, []*TrialError) 
 	st := &state{total: n, start: time.Now(), onProgress: opts.OnProgress}
 
 	if workers == 1 {
+		ws := newState()
 		for i := 0; i < n; i++ {
-			runOne(i, results, st, fn)
+			runOne(i, results, st, ws, fn)
 		}
 	} else {
 		// Dispatch by shared counter: workers pull the next index, so
 		// an expensive trial does not stall a fixed stride. Identity
-		// of the pulling worker never reaches fn.
+		// of the pulling worker never reaches fn (beyond the reusable
+		// state arena, which the contract above keeps trial-neutral).
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
+				ws := newState()
 				for {
 					st.mu.Lock()
 					i := st.next
@@ -118,7 +139,7 @@ func Run[T any](n int, opts Options, fn func(index int) T) ([]T, []*TrialError) 
 					if i >= n {
 						return
 					}
-					runOne(i, results, st, fn)
+					runOne(i, results, st, ws, fn)
 				}
 			}()
 		}
@@ -142,8 +163,8 @@ type state struct {
 
 // runOne executes a single trial with panic capture and updates the
 // shared progress under the lock.
-func runOne[T any](i int, results []T, st *state, fn func(int) T) {
-	failure := protect(i, &results[i], fn)
+func runOne[S, T any](i int, results []T, st *state, ws S, fn func(S, int) T) {
+	failure := protect(i, &results[i], ws, fn)
 
 	st.mu.Lock()
 	st.completed++
@@ -167,13 +188,13 @@ func runOne[T any](i int, results []T, st *state, fn func(int) T) {
 }
 
 // protect runs one trial and converts a panic into a TrialError.
-func protect[T any](i int, out *T, fn func(int) T) (failure *TrialError) {
+func protect[S, T any](i int, out *T, ws S, fn func(S, int) T) (failure *TrialError) {
 	defer func() {
 		if v := recover(); v != nil {
 			buf := make([]byte, 64<<10)
 			failure = &TrialError{Index: i, Value: v, Stack: buf[:runtime.Stack(buf, false)]}
 		}
 	}()
-	*out = fn(i)
+	*out = fn(ws, i)
 	return nil
 }

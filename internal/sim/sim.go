@@ -77,6 +77,38 @@ func New(seed int64) *Simulator {
 	return &Simulator{rng: rand.New(rand.NewSource(seed))}
 }
 
+// Reset rewinds the simulator to the state New(seed) would produce,
+// keeping the heap's backing array so a reused simulator schedules
+// allocation-free from the first event. Pending events are discarded;
+// callers that pooled objects riding the queue (AfterArg payloads)
+// should reclaim them with ForEachPendingArg first. Re-seeding the
+// existing rand.Rand in place yields the identical stream a fresh
+// rand.New(rand.NewSource(seed)) would, so trial results do not
+// depend on whether the simulator was reused.
+func (s *Simulator) Reset(seed int64) {
+	for i := range s.events {
+		s.events[i] = event{} // unpin dead closures and payloads
+	}
+	s.events = s.events[:0]
+	s.now = 0
+	s.seq = 0
+	s.steps = 0
+	s.MaxSteps = 0
+	s.rng.Seed(seed)
+}
+
+// ForEachPendingArg visits the payload of every pending AfterArg
+// event, in heap-array order. It exists so object pools can recover
+// in-flight payloads (e.g. netem packets still "on the wire") before
+// Reset discards the queue.
+func (s *Simulator) ForEachPendingArg(f func(any)) {
+	for i := range s.events {
+		if s.events[i].parg != nil {
+			f(s.events[i].parg)
+		}
+	}
+}
+
 // Now returns the current virtual time (elapsed since simulation
 // start).
 func (s *Simulator) Now() time.Duration { return s.now }

@@ -26,10 +26,10 @@ func TestSteadyStateTransferZeroAlloc(t *testing.T) {
 		s.Run()
 	})
 	// The only remaining allocation source is the Karn sentAt map's
-	// internal growth, which is amortized; budget a handful per 256 KiB
+	// internal growth, which is amortized; budget a couple per 256 KiB
 	// (180+ segments) rather than demanding literal zero from the map.
-	if allocs > 5 {
-		t.Errorf("steady-state 256KiB transfer: %.1f allocs/op, want <= 5", allocs)
+	if allocs > 2 {
+		t.Errorf("steady-state 256KiB transfer: %.1f allocs/op, want <= 2", allocs)
 	}
 }
 

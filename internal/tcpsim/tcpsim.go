@@ -178,6 +178,41 @@ func New(s *sim.Simulator, cfg Config, name string, out func(*netem.Packet), app
 // packets after the receiving endpoint has processed them.
 func (e *Endpoint) SetPool(pp *netem.PacketPool) { e.pool = pp }
 
+// Reset returns the endpoint to the state New would produce with cfg,
+// keeping the simulator wiring, pool, timer object, and every buffer's
+// capacity (send buffer, held segments, spares, the sentAt map). The
+// OnBreak and OnRetransmit callbacks are cleared, matching a freshly
+// constructed endpoint; rewire them after Reset. Must be called after
+// the owning simulator has been Reset, so the stale RTO timer
+// generation cannot fire.
+func (e *Endpoint) Reset(cfg Config) {
+	e.cfg = cfg.withDefaults()
+	e.sndUna, e.sndNxt = 0, 0
+	e.sendBuf = e.sendBuf[:0]
+	e.sendOff = 0
+	e.cwnd = float64(e.cfg.InitialCwnd * e.cfg.MSS)
+	e.ssthresh = 1 << 30
+	e.dupAcks = 0
+	e.retries = 0
+	e.rtoTimer.Stop()
+	e.rto = e.cfg.RTOInit
+	e.srtt, e.rttvar = 0, 0
+	clear(e.sentAt)
+	e.broken = false
+	e.rcvNxt = 0
+	for i := range e.held {
+		if buf := e.held[i].buf; buf != nil {
+			e.spare = append(e.spare, buf[:0])
+		}
+		e.held[i] = heldSeg{}
+	}
+	e.held = e.held[:0]
+	e.OnBreak = nil
+	e.OnRetransmit = nil
+	e.Stats = Stats{}
+	e.pktID = 0
+}
+
 // MSS returns the configured segment size.
 func (e *Endpoint) MSS() int { return e.cfg.MSS }
 
@@ -595,6 +630,16 @@ func NewConn(s *sim.Simulator, pathCfg netem.PathConfig, tcpCfg Config, clientAp
 	c.Client.SetPool(path.Pool)
 	c.Server.SetPool(path.Pool)
 	return c
+}
+
+// Reset restores the path and both endpoints to their just-built
+// configuration, reusing every allocation. Call after the simulator
+// has been Reset (and after Path.ReclaimPending, if in-flight packets
+// should return to the pool).
+func (c *Conn) Reset(pathCfg netem.PathConfig, tcpCfg Config) {
+	c.Path.Reset(pathCfg)
+	c.Client.Reset(tcpCfg)
+	c.Server.Reset(tcpCfg)
 }
 
 // Broken reports whether either side has declared the connection

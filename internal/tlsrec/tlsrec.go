@@ -243,6 +243,13 @@ func (o *Opener) saveScratch(reuse bool, out []Record, arena []byte) {
 // Buffered returns the number of bytes awaiting a complete record.
 func (o *Opener) Buffered() int { return len(o.buf) - o.off }
 
+// Reset discards any buffered partial record so the Opener can start
+// a fresh stream, keeping the buffer and scratch capacities.
+func (o *Opener) Reset() {
+	o.buf = o.buf[:0]
+	o.off = 0
+}
+
 // HeaderInfo is what a passive observer reads from a record header.
 type HeaderInfo struct {
 	ContentType uint8
@@ -281,4 +288,11 @@ func (p *StreamParser) Feed(b []byte) []HeaderInfo {
 	}
 	p.out = out
 	return out
+}
+
+// Reset discards buffered partial-record bytes so the parser can
+// observe a fresh stream, keeping buffer and scratch capacities.
+func (p *StreamParser) Reset() {
+	p.buf = p.buf[:0]
+	p.off = 0
 }

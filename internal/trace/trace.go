@@ -111,6 +111,15 @@ type Trace struct {
 	Frames  []FrameEvent
 }
 
+// Reset empties all three observation streams, keeping their backing
+// arrays so a reused trace records allocation-free once it has grown
+// to a trial's high-water mark.
+func (t *Trace) Reset() {
+	t.Packets = t.Packets[:0]
+	t.Records = t.Records[:0]
+	t.Frames = t.Frames[:0]
+}
+
 // AddPacket appends a packet observation.
 func (t *Trace) AddPacket(p PacketObs) { t.Packets = append(t.Packets, p) }
 

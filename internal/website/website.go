@@ -338,6 +338,52 @@ func SurveyCustom(order [PartyCount]int, opts SurveyOptions) *Site {
 	return site
 }
 
+// SurveyBuilder caches one built survey site and applies the
+// per-trial variation in place, so a reused trial world does not pay
+// the full SurveyCustom construction (object inventory, paths, size
+// de-collision) on every trial. Only three things vary between trials
+// of the same sweep: the display order, the order the emblem images
+// are requested in, and the think-time gap before the result HTML —
+// all of which Build rewrites on the cached site. A change of
+// PadBucket changes object sizes and forces a rebuild.
+//
+// The returned site is shared across Build calls: callers must treat
+// it as valid only until the next Build.
+type SurveyBuilder struct {
+	site      *Site
+	padBucket int
+}
+
+// Build returns the survey site for the given outcome and options,
+// reusing the cached site when only per-trial fields changed. It is
+// equivalent to SurveyCustom(order, opts) by construction.
+func (b *SurveyBuilder) Build(order [PartyCount]int, opts SurveyOptions) *Site {
+	if opts.HTMLGap == 0 {
+		opts.HTMLGap = 250 * time.Millisecond
+	}
+	if b.site == nil || b.padBucket != opts.PadBucket {
+		b.site = SurveyCustom(order, opts)
+		b.padBucket = opts.PadBucket
+		return b.site
+	}
+	site := b.site
+	site.DisplayOrder = order
+	sched := site.Schedule
+	// Schedule layout (see SurveyCustom): the result HTML is entry 5,
+	// the emblem burst occupies the 8 entries before the trailing
+	// beacon.
+	sched[5].Gap = opts.HTMLGap
+	reqOrder := order
+	if opts.CanonicalImageOrder {
+		reqOrder = IdentityPermutation()
+	}
+	base := len(sched) - 1 - PartyCount
+	for i, p := range reqOrder {
+		sched[base+i].ObjectID = EmblemID(p)
+	}
+	return site
+}
+
 // padTo rounds n up to the next multiple of bucket.
 func padTo(n, bucket int) int {
 	if bucket <= 0 {
