@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain go tooling underneath.
 
-.PHONY: ci test bench bench-compare check-golden experiments profile
+.PHONY: ci test bench bench-compare bench-profile check-golden experiments profile
 
 # The CI gate: vet + build + race-enabled tests (scripts/ci.sh).
 ci:
@@ -14,11 +14,17 @@ test:
 bench:
 	go test -bench=. -benchmem
 
-# Run all benchmarks, write BENCH_PR2.json, and fail on a >10%
+# Run all benchmarks, write BENCH_PR4.json, and fail on a >10%
 # trials/s regression against the last committed BENCH_*.json
 # (scripts/bench.sh; schema in EXPERIMENTS.md).
 bench-compare:
 	sh scripts/bench.sh
+
+# Regenerate the committed-profile inputs (cpu.pprof/mem.pprof are
+# gitignored; this refreshes them locally) so the next perf PR starts
+# from profiles of the current code rather than a stale snapshot.
+# Alias of `make profile` with an explicit reminder of the workload.
+bench-profile: profile
 
 # Profile a representative sweep (Table II: full-attack trials, the
 # dominant workload). Writes cpu.pprof + mem.pprof; inspect with

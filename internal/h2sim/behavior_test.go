@@ -100,6 +100,7 @@ func TestServer404ForUnknownPath(t *testing.T) {
 	clientSite := tinySite(0, 1000)
 	clientSite.Objects = append(clientSite.Objects, website.Object{ID: 99, Path: "/nope", Size: 10})
 	sess.Client.site = clientSite
+	sess.Client.objects = growTable(sess.Client.objects, 100)
 	sess.Client.objects[99] = &objState{obj: clientSite.Objects[1]}
 	sess.Sim.After(100*time.Millisecond, func() { sess.Client.issue(99, true) })
 	sess.Run()

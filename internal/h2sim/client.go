@@ -1,7 +1,6 @@
 package h2sim
 
 import (
-	"sort"
 	"time"
 
 	"repro/internal/h2"
@@ -135,6 +134,7 @@ type clientStream struct {
 type objState struct {
 	obj             website.Object
 	requested       bool
+	scheduled       bool // appears in the site schedule (counted by scheduledLeft)
 	complete        bool
 	completedAt     time.Duration
 	reRequests      int
@@ -157,10 +157,24 @@ type Client struct {
 	hdec    *h2.HpackDecoder
 	henc    *h2.HpackEncoder
 
-	streams      map[uint32]*clientStream
-	objects      map[int]*objState
+	// Dense state tables, indexed by raw stream ID and object ID (both
+	// are small and sequential in this simulation: client streams are
+	// odd 1,3,5,… and pushed streams even 2,4,…, object IDs top out at
+	// ~108). They replace the map[uint32]/map[int] tables that
+	// dominated the hot path with mapaccess calls; lookups are now a
+	// bounds check and an index.
+	streams []*clientStream // by stream ID; nil = no such open stream
+	objects []*objState     // by object ID; nil = unknown object
+	copies  []int           // by object ID: next copy sequence number
+
+	// O(1) trial-completion state: open counts the non-nil entries of
+	// streams; scheduledLeft counts distinct scheduled objects not yet
+	// complete (an unknown scheduled ID counts forever, matching the
+	// old per-event scan that could never find it complete).
+	open          int
+	scheduledLeft int
+
 	nextStreamID uint32
-	copyCounter  map[int]int
 	stallMult    time.Duration
 	bytesOut     uint32        // bytes written to the transport so far
 	dryStalls    int           // stalls since the last completion, within a burst
@@ -204,12 +218,9 @@ type Client struct {
 // construction.
 func NewClient(s *sim.Simulator, cfg ClientConfig, site *website.Site) *Client {
 	c := &Client{
-		s:           s,
-		hdec:        h2.NewHpackDecoder(4096),
-		henc:        h2.NewHpackEncoder(4096),
-		streams:     make(map[uint32]*clientStream),
-		objects:     make(map[int]*objState),
-		copyCounter: make(map[int]int),
+		s:    s,
+		hdec: h2.NewHpackDecoder(4096),
+		henc: h2.NewHpackEncoder(4096),
 	}
 	c.frameCb = func(f h2.Frame) error {
 		c.handleFrame(f)
@@ -236,21 +247,51 @@ func (c *Client) Reset(cfg ClientConfig, site *website.Site) {
 	c.hdec.Reset(4096)
 	c.henc.Reset(4096)
 	for id, st := range c.streams {
-		st.stall.Stop()
-		c.sfree = append(c.sfree, st)
-		delete(c.streams, id)
+		if st != nil {
+			st.stall.Stop()
+			c.sfree = append(c.sfree, st)
+			c.streams[id] = nil
+		}
+	}
+	c.open = 0
+	maxID := 0
+	for _, o := range site.Objects {
+		if o.ID > maxID {
+			maxID = o.ID
+		}
 	}
 	for id, os := range c.objects {
-		c.ofree = append(c.ofree, os)
-		delete(c.objects, id)
+		if os != nil {
+			c.ofree = append(c.ofree, os)
+			c.objects[id] = nil
+		}
+	}
+	c.objects = growTable(c.objects, maxID+1)
+	c.copies = growTable(c.copies, maxID+1)
+	for i := range c.copies {
+		c.copies[i] = 0
 	}
 	for _, o := range site.Objects {
 		os := c.getObjState()
 		os.obj = o
 		c.objects[o.ID] = os
 	}
+	// Seed the O(1) completion counter: one unit per distinct scheduled
+	// object. A scheduled ID with no object state can never complete,
+	// so it is counted permanently (AllScheduledComplete stays false),
+	// exactly like the old per-call scan.
+	c.scheduledLeft = 0
+	for _, spec := range site.Schedule {
+		if spec.ObjectID < 0 || spec.ObjectID > maxID || c.objects[spec.ObjectID] == nil {
+			c.scheduledLeft++
+			continue
+		}
+		if os := c.objects[spec.ObjectID]; !os.scheduled {
+			os.scheduled = true
+			c.scheduledLeft++
+		}
+	}
 	c.nextStreamID = 1
-	clear(c.copyCounter)
 	c.stallMult = 1
 	c.bytesOut = 0
 	c.dryStalls = 0
@@ -267,6 +308,47 @@ func (c *Client) Reset(cfg ClientConfig, site *website.Site) {
 	// log grows in one allocation instead of a doubling chain.
 	c.Requests = make([]RequestLog, 0, len(site.Schedule)+8)
 	c.OnComplete = nil
+}
+
+// stream looks up an open stream by raw ID; nil if absent.
+func (c *Client) stream(id uint32) *clientStream {
+	if int(id) >= len(c.streams) {
+		return nil
+	}
+	return c.streams[id]
+}
+
+// putStream registers an open stream in the dense table.
+func (c *Client) putStream(id uint32, st *clientStream) {
+	if int(id) >= len(c.streams) {
+		c.streams = growTable(c.streams, int(id)+1)
+	}
+	c.streams[id] = st
+	c.open++
+}
+
+// delStream removes an open stream. The id must be present.
+func (c *Client) delStream(id uint32) {
+	c.streams[id] = nil
+	c.open--
+}
+
+// nextCopy returns and advances the object's copy sequence number.
+func (c *Client) nextCopy(objectID int) int {
+	if objectID >= len(c.copies) {
+		c.copies = growTable(c.copies, objectID+1)
+	}
+	n := c.copies[objectID]
+	c.copies[objectID]++
+	return n
+}
+
+// object looks up per-object state by ID; nil if unknown.
+func (c *Client) object(id int) *objState {
+	if id < 0 || id >= len(c.objects) {
+		return nil
+	}
+	return c.objects[id]
 }
 
 // getStream returns a recycled stream (zeroed, keeping its prebuilt
@@ -347,7 +429,7 @@ func (c *Client) issue(objectID int, reissue bool) {
 	if c.tcp.Broken() {
 		return
 	}
-	os := c.objects[objectID]
+	os := c.object(objectID)
 	if os == nil || os.complete {
 		return
 	}
@@ -359,8 +441,7 @@ func (c *Client) issue(objectID int, reissue bool) {
 	os.requested = true
 	id := c.nextStreamID
 	c.nextStreamID += 2
-	copyID := c.copyCounter[objectID]
-	c.copyCounter[objectID]++
+	copyID := c.nextCopy(objectID)
 
 	c.blockBuf = c.henc.AppendHeaderBlock(c.blockBuf[:0], []h2.HeaderField{
 		{Name: ":method", Value: "GET"},
@@ -385,7 +466,7 @@ func (c *Client) issue(objectID int, reissue bool) {
 	st.id, st.objectID, st.copyID = id, objectID, copyID
 	st.reqStart, st.reqEnd = reqStart, reqEnd
 	st.stall.Reset(c.stallTimeout())
-	c.streams[id] = st
+	c.putStream(id, st)
 }
 
 // stallTimeout derives the adaptive stall deadline.
@@ -413,7 +494,7 @@ func (c *Client) OnTCPRetransmit(seqStart, seqEnd uint32) {
 		if st.reqStart >= seqEnd || st.reqEnd <= seqStart {
 			continue
 		}
-		os := c.objects[st.objectID]
+		os := c.object(st.objectID)
 		if os == nil || os.complete || os.reRequests >= c.cfg.MaxReRequests {
 			continue
 		}
@@ -443,7 +524,7 @@ func (c *Client) OnBytes(b []byte) {
 func (c *Client) handleFrame(f h2.Frame) {
 	switch fv := f.(type) {
 	case *h2.HeadersFrame:
-		st := c.streams[fv.StreamID]
+		st := c.stream(fv.StreamID)
 		if st == nil || st.closed {
 			return
 		}
@@ -455,7 +536,7 @@ func (c *Client) handleFrame(f h2.Frame) {
 		}
 		st.stall.Reset(c.stallTimeout())
 	case *h2.DataFrame:
-		st := c.streams[fv.StreamID]
+		st := c.stream(fv.StreamID)
 		if st == nil || st.closed {
 			return
 		}
@@ -469,7 +550,7 @@ func (c *Client) handleFrame(f h2.Frame) {
 			c.writeRecord(h2.MarshalFrame(&h2.SettingsFrame{Ack: true}))
 		}
 	case *h2.RSTStreamFrame:
-		if st := c.streams[fv.StreamID]; st != nil {
+		if st := c.stream(fv.StreamID); st != nil {
 			c.closeStream(st)
 		}
 	case *h2.PushPromiseFrame:
@@ -496,16 +577,15 @@ func (c *Client) handlePushPromise(f *h2.PushPromiseFrame) {
 	if !ok {
 		return
 	}
-	os := c.objects[obj.ID]
+	os := c.object(obj.ID)
 	if os == nil || os.complete {
 		return
 	}
 	os.pushed = true
 	st := c.getStream()
-	st.id, st.objectID, st.copyID = f.PromiseID, obj.ID, c.copyCounter[obj.ID]
-	c.copyCounter[obj.ID]++
+	st.id, st.objectID, st.copyID = f.PromiseID, obj.ID, c.nextCopy(obj.ID)
 	st.stall.Reset(c.stallTimeout())
-	c.streams[f.PromiseID] = st
+	c.putStream(f.PromiseID, st)
 }
 
 // finishStream handles END_STREAM on a live stream. The stream is
@@ -514,15 +594,18 @@ func (c *Client) handlePushPromise(f *h2.PushPromiseFrame) {
 func (c *Client) finishStream(st *clientStream) {
 	st.done = true
 	objectID, received := st.objectID, st.received
-	delete(c.streams, st.id)
+	c.delStream(st.id)
 	c.freeStream(st)
-	os := c.objects[objectID]
+	os := c.object(objectID)
 	if os == nil || os.complete {
 		return
 	}
 	if received >= os.obj.Size {
 		os.complete = true
 		os.completedAt = c.s.Now()
+		if os.scheduled {
+			c.scheduledLeft--
+		}
 		c.Stats.Completed++
 		c.dryStalls = 0 // completions are the liveness signal
 		if c.refetchOut > 0 {
@@ -531,7 +614,7 @@ func (c *Client) finishStream(st *clientStream) {
 		}
 		// Quiesce sibling copies' timers: the object is done.
 		for _, other := range c.streams {
-			if other.objectID == objectID {
+			if other != nil && other.objectID == objectID {
 				other.stall.Stop()
 			}
 		}
@@ -543,22 +626,24 @@ func (c *Client) finishStream(st *clientStream) {
 
 func (c *Client) closeStream(st *clientStream) {
 	st.closed = true
-	delete(c.streams, st.id)
+	c.delStream(st.id)
 	c.freeStream(st)
 }
 
 // streamsByID snapshots the open streams in ascending stream-id
 // order. Every walk that has side effects (re-issuing requests,
-// emitting RST_STREAM frames) must use this instead of ranging over
-// the map: map order would make the wire bytes — and therefore whole
-// trials — vary from run to run under the same seed. The returned
-// slice is scratch reused by the next call; no caller nests walks.
+// emitting RST_STREAM frames) must use this instead of mutating the
+// table mid-walk; the dense table is already in ID order, so the
+// snapshot is one linear sweep (the sort that the old map table
+// needed is gone). The returned slice is scratch reused by the next
+// call; no caller nests walks.
 func (c *Client) streamsByID() []*clientStream {
 	out := c.sbuf[:0]
 	for _, st := range c.streams {
-		out = append(out, st)
+		if st != nil {
+			out = append(out, st)
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
 	c.sbuf = out
 	return out
 }
@@ -575,7 +660,7 @@ func (c *Client) onStall(st *clientStream) {
 	if st.rearms > 12 {
 		return // give up on this stream; bounds simulation work
 	}
-	os := c.objects[st.objectID]
+	os := c.object(st.objectID)
 	if os == nil || os.complete {
 		return
 	}
@@ -642,7 +727,7 @@ func (c *Client) resetAll() {
 		// not yet received" — and only then the rest).
 		docs, rest := c.docsScratch[:0], c.restScratch[:0]
 		for _, spec := range c.site.Schedule {
-			os := c.objects[spec.ObjectID]
+			os := c.object(spec.ObjectID)
 			if os == nil || !os.requested || os.complete {
 				continue
 			}
@@ -669,7 +754,7 @@ func (c *Client) pumpRefetch() {
 	for c.refetchOut < c.cfg.RefetchWindow && len(c.refetchQ) > 0 {
 		id := c.refetchQ[0]
 		c.refetchQ = c.refetchQ[1:]
-		os := c.objects[id]
+		os := c.object(id)
 		if os == nil || os.complete {
 			continue
 		}
@@ -682,13 +767,13 @@ func (c *Client) pumpRefetch() {
 
 // Complete reports whether the object has been fully received.
 func (c *Client) Complete(objectID int) bool {
-	os := c.objects[objectID]
+	os := c.object(objectID)
 	return os != nil && os.complete
 }
 
 // CompletedAt returns when the object finished (zero if incomplete).
 func (c *Client) CompletedAt(objectID int) time.Duration {
-	os := c.objects[objectID]
+	os := c.object(objectID)
 	if os == nil {
 		return 0
 	}
@@ -696,15 +781,10 @@ func (c *Client) CompletedAt(objectID int) time.Duration {
 }
 
 // AllScheduledComplete reports whether every object in the schedule
-// has been fully received.
-func (c *Client) AllScheduledComplete() bool {
-	for _, spec := range c.site.Schedule {
-		if !c.Complete(spec.ObjectID) {
-			return false
-		}
-	}
-	return true
-}
+// has been fully received. O(1): the scheduledLeft counter is seeded
+// at Reset and decremented as scheduled objects complete, so the
+// per-event session loop no longer scans the schedule.
+func (c *Client) AllScheduledComplete() bool { return c.scheduledLeft == 0 }
 
 // OpenStreams reports in-flight request count.
-func (c *Client) OpenStreams() int { return len(c.streams) }
+func (c *Client) OpenStreams() int { return c.open }

@@ -120,10 +120,15 @@ type Server struct {
 	// object copies; may be nil.
 	GroundTruth *trace.Trace
 
-	offset        int64 // bytes written to the TCP stream so far
-	workers       map[uint32]*worker
-	copies        map[int]int // objectID -> copies spawned
-	nextPushID    uint32      // next server-initiated (even) stream id
+	offset int64 // bytes written to the TCP stream so far
+
+	// Dense worker/copy tables, indexed by raw stream ID and object ID
+	// (see the Client's tables for the indexing rationale); active
+	// counts the non-nil workers so ActiveWorkers is O(1).
+	workers       []*worker // by stream ID; nil = no worker on that stream
+	copies        []int     // by object ID: copies spawned
+	active        int
+	nextPushID    uint32 // next server-initiated (even) stream id
 	pushedAlready map[string]bool
 
 	// Worker recycling. wfree holds workers ready for reuse; parked
@@ -159,8 +164,6 @@ func NewServer(s *sim.Simulator, cfg ServerConfig, site *website.Site) *Server {
 		s:             s,
 		hdec:          h2.NewHpackDecoder(4096),
 		henc:          h2.NewHpackEncoder(4096),
-		workers:       make(map[uint32]*worker),
-		copies:        make(map[int]int),
 		pushedAlready: make(map[string]bool),
 	}
 	sv.frameCb = func(f h2.Frame) error {
@@ -187,18 +190,23 @@ func (sv *Server) Reset(cfg ServerConfig, site *website.Site) {
 	sv.GroundTruth = nil
 	sv.offset = 0
 	// Recycle leftover workers: with the event queue already cleared,
-	// no stale step event can reference them. Map order does not
-	// matter — recycled workers are interchangeable once zeroed.
+	// no stale step event can reference them. Recycled workers are
+	// interchangeable once zeroed, so reclaim order does not matter.
 	for id, w := range sv.workers {
-		sv.wfree = append(sv.wfree, w)
-		delete(sv.workers, id)
+		if w != nil {
+			sv.wfree = append(sv.wfree, w)
+			sv.workers[id] = nil
+		}
 	}
+	sv.active = 0
 	for i, w := range sv.parked {
 		sv.wfree = append(sv.wfree, w)
 		sv.parked[i] = nil
 	}
 	sv.parked = sv.parked[:0]
-	clear(sv.copies)
+	for i := range sv.copies {
+		sv.copies[i] = 0
+	}
 	sv.nextPushID = 2
 	clear(sv.pushedAlready)
 	if cap(sv.zeroBody) < sv.cfg.ChunkPlain {
@@ -207,6 +215,39 @@ func (sv *Server) Reset(cfg ServerConfig, site *website.Site) {
 		sv.zeroBody = sv.zeroBody[:sv.cfg.ChunkPlain]
 	}
 	sv.Stats = ServerStats{}
+}
+
+// worker looks up the worker serving a stream; nil if none.
+func (sv *Server) worker(streamID uint32) *worker {
+	if int(streamID) >= len(sv.workers) {
+		return nil
+	}
+	return sv.workers[streamID]
+}
+
+// putWorker registers a worker in the dense table.
+func (sv *Server) putWorker(streamID uint32, w *worker) {
+	if int(streamID) >= len(sv.workers) {
+		sv.workers = growTable(sv.workers, int(streamID)+1)
+	}
+	sv.workers[streamID] = w
+	sv.active++
+}
+
+// delWorker removes a stream's worker. The stream must be present.
+func (sv *Server) delWorker(streamID uint32) {
+	sv.workers[streamID] = nil
+	sv.active--
+}
+
+// nextCopy returns and advances the object's spawned-copy counter.
+func (sv *Server) nextCopy(objectID int) int {
+	if objectID >= len(sv.copies) {
+		sv.copies = growTable(sv.copies, objectID+1)
+	}
+	n := sv.copies[objectID]
+	sv.copies[objectID]++
+	return n
 }
 
 // getWorker returns a recycled worker reinitialized for a stream, or
@@ -271,7 +312,7 @@ func (sv *Server) handleFrame(f h2.Frame) {
 		sv.handleRequest(fv)
 	case *h2.RSTStreamFrame:
 		sv.Stats.Resets++
-		if w, ok := sv.workers[fv.StreamID]; ok {
+		if w := sv.worker(fv.StreamID); w != nil {
 			// Flush the stream: the worker stops enqueueing segments
 			// (paper section IV-D: "the server closes the stream and
 			// flushes the corresponding object segments from its
@@ -279,7 +320,7 @@ func (sv *Server) handleFrame(f h2.Frame) {
 			// park it for recycling at the next Reset rather than
 			// reusing it immediately.
 			w.cancelled = true
-			delete(sv.workers, fv.StreamID)
+			sv.delWorker(fv.StreamID)
 			sv.parked = append(sv.parked, w)
 		}
 	case *h2.SettingsFrame:
@@ -312,8 +353,7 @@ func (sv *Server) handleRequest(f *h2.HeadersFrame) {
 		return
 	}
 	sv.Stats.Requests++
-	copyID := sv.copies[obj.ID]
-	sv.copies[obj.ID]++
+	copyID := sv.nextCopy(obj.ID)
 	if copyID > 0 {
 		sv.Stats.Duplicates++
 		if sv.cfg.DisableDuplicates {
@@ -324,7 +364,7 @@ func (sv *Server) handleRequest(f *h2.HeadersFrame) {
 		}
 	}
 	w := sv.getWorker(f.StreamID, obj, copyID)
-	sv.workers[f.StreamID] = w
+	sv.putWorker(f.StreamID, w)
 	sv.s.After(sv.cfg.HeaderDelay, w.sendFn)
 	sv.pushFor(obj.Path, f.StreamID)
 }
@@ -356,10 +396,8 @@ func (sv *Server) pushFor(path string, parentStream uint32) {
 			EndHeaders:    true,
 		})
 		sv.writeRecord(tlsrec.TypeAppData, sv.frameBuf)
-		copyID := sv.copies[obj.ID]
-		sv.copies[obj.ID]++
-		w := sv.getWorker(promiseID, obj, copyID)
-		sv.workers[promiseID] = w
+		w := sv.getWorker(promiseID, obj, sv.nextCopy(obj.ID))
+		sv.putWorker(promiseID, w)
 		sv.s.After(sv.cfg.HeaderDelay, w.sendFn)
 	}
 }
@@ -488,7 +526,7 @@ func (w *worker) step() {
 	if end {
 		// The completed worker has no pending events left (this firing
 		// was its only one), so it can be reused immediately.
-		delete(sv.workers, w.streamID)
+		sv.delWorker(w.streamID)
 		sv.wfree = append(sv.wfree, w)
 		return
 	}
@@ -496,4 +534,5 @@ func (w *worker) step() {
 }
 
 // ActiveWorkers reports how many object transmissions are in flight.
-func (sv *Server) ActiveWorkers() int { return len(sv.workers) }
+// O(1): the counter tracks dense-table inserts and removals.
+func (sv *Server) ActiveWorkers() int { return sv.active }

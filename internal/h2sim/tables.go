@@ -1,0 +1,23 @@
+package h2sim
+
+// growTable extends a dense lookup table to at least n entries,
+// reusing the backing array when it is large enough (zeroing any
+// stale tail) so steady-state trials never reallocate their tables.
+// Tables in this package only ever grow; indices are raw stream IDs
+// or object IDs, both small and near-sequential by construction.
+func growTable[T any](t []T, n int) []T {
+	if n <= len(t) {
+		return t
+	}
+	if cap(t) >= n {
+		var zero T
+		ext := t[len(t):n]
+		for i := range ext {
+			ext[i] = zero
+		}
+		return t[:n]
+	}
+	nt := make([]T, n, n+n/2+8)
+	copy(nt, t)
+	return nt
+}

@@ -8,14 +8,41 @@
 // jitter distributions — runs deterministically from a single seed and
 // completes in microseconds of real time.
 //
-// The event queue is engineered to stay off the garbage collector's
-// books: events are stored by value in a slice-backed binary heap (no
-// per-event allocation, no container/heap interface boxing), timers
-// schedule themselves without closures, and AfterArg carries a payload
-// pointer through the queue so packet delivery needs no per-packet
-// closure either. In steady state — once the heap slice has grown to
-// the simulation's high-water mark — At, After, AfterArg, and
-// Timer.Reset allocate zero bytes (see sim_alloc_test.go).
+// # Scheduler internals
+//
+// The event queue is a calendar queue (a single-level timer wheel with
+// an overflow heap), replacing the earlier slice-backed binary heap:
+//
+//   - Virtual time is divided into ticks of 2^tickBits ns (~524 µs). A
+//     wheel of wheelSize buckets covers the next ~2.1 s of ticks; each
+//     bucket is an unsorted intrusive list of nodes in one shared pool
+//     (so queue capacity amortizes at the max-pending high-water mark,
+//     not per bucket), and a bitmap records which buckets are
+//     occupied, so finding the next non-empty tick is a word scan, not
+//     a search.
+//   - Events within the tick currently being dispatched live in a
+//     small binary heap (`cur`) ordered by (at, seq); same-tick
+//     scheduling during dispatch pushes into it. A bucket is heapified
+//     once when the wheel reaches its tick.
+//   - Events beyond the wheel horizon (stall-timer backoffs, RTO
+//     exponential backoff, page time limits) go to an overflow heap
+//     and migrate into buckets as the wheel slides forward.
+//
+// Scheduling and dispatch are therefore amortized O(1) for the hot
+// paths (packet delivery, worker steps, ACK clocking — all within the
+// wheel horizon), with the exact (at, seq) total order of the original
+// heap: the dispatch sequence is byte-for-byte identical, which the
+// wheel-vs-reference-heap property tests in sim_order_test.go pin
+// down.
+//
+// The queue stays off the garbage collector's books: events are stored
+// by value (no per-event allocation, no container/heap interface
+// boxing), timers schedule themselves without closures, and AfterArg
+// carries a payload pointer through the queue so packet delivery needs
+// no per-packet closure either. In steady state — once buckets and
+// heaps have grown to the simulation's high-water mark — At, After,
+// AfterArg, and Timer.Reset allocate zero bytes (see
+// sim_alloc_test.go).
 //
 // Key types: Simulator (clock + event queue + seeded RNG streams) and
 // Timer (a restartable scheduled callback). The package replaces the
@@ -26,11 +53,26 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"time"
 )
 
-// event is one scheduled callback, stored by value in the heap.
+// Calendar-queue geometry. One tick is 2^tickBits ns (~524 µs), sized
+// so that sub-tick event chains (packet serialization, ACK clocking)
+// stay in the small cur heap while multi-tick delays (propagation,
+// worker service times, stall timeouts up to ~2 s) take the O(1)
+// bucket path. The wheel spans wheelSize ticks (~2.1 s); only genuine
+// long-delay events (RTO backoff, reset grace on slow paths, page
+// time limits) overflow to the far heap.
+const (
+	tickBits  = 19
+	wheelSize = 1 << 12
+	wheelMask = wheelSize - 1
+	occWords  = wheelSize / 64
+)
+
+// event is one scheduled callback, stored by value in the queue.
 // Exactly one of the three dispatch forms is used: fn (a plain
 // closure), pfn+parg (a closure-free callback with argument), or
 // timer+gen (a Timer firing, validated against the timer's current
@@ -46,8 +88,8 @@ type event struct {
 }
 
 // before orders events by (at, seq) — the same total order the
-// original pointer-heap used, so pop order (and therefore every
-// simulation result) is unchanged by the by-value layout.
+// original binary heap used, so dispatch order (and therefore every
+// simulation result) is unchanged by the calendar-queue layout.
 func (e *event) before(o *event) bool {
 	if e.at != o.at {
 		return e.at < o.at
@@ -55,76 +97,11 @@ func (e *event) before(o *event) bool {
 	return e.seq < o.seq
 }
 
-// Simulator is a single-threaded discrete-event scheduler. It is not
-// safe for concurrent use; all callbacks run on the caller's
-// goroutine inside Run.
-type Simulator struct {
-	now    time.Duration
-	events []event // binary min-heap ordered by (at, seq)
-	seq    uint64
-	rng    *rand.Rand
-
-	// Steps counts executed events, to bound runaway simulations.
-	steps uint64
-
-	// MaxSteps aborts Run with a panic after this many events; zero
-	// means no limit. Used to catch livelocks in tests.
-	MaxSteps uint64
-}
-
-// New returns a simulator whose randomness derives entirely from seed.
-func New(seed int64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed))}
-}
-
-// Reset rewinds the simulator to the state New(seed) would produce,
-// keeping the heap's backing array so a reused simulator schedules
-// allocation-free from the first event. Pending events are discarded;
-// callers that pooled objects riding the queue (AfterArg payloads)
-// should reclaim them with ForEachPendingArg first. Re-seeding the
-// existing rand.Rand in place yields the identical stream a fresh
-// rand.New(rand.NewSource(seed)) would, so trial results do not
-// depend on whether the simulator was reused.
-func (s *Simulator) Reset(seed int64) {
-	for i := range s.events {
-		s.events[i] = event{} // unpin dead closures and payloads
-	}
-	s.events = s.events[:0]
-	s.now = 0
-	s.seq = 0
-	s.steps = 0
-	s.MaxSteps = 0
-	s.rng.Seed(seed)
-}
-
-// ForEachPendingArg visits the payload of every pending AfterArg
-// event, in heap-array order. It exists so object pools can recover
-// in-flight payloads (e.g. netem packets still "on the wire") before
-// Reset discards the queue.
-func (s *Simulator) ForEachPendingArg(f func(any)) {
-	for i := range s.events {
-		if s.events[i].parg != nil {
-			f(s.events[i].parg)
-		}
-	}
-}
-
-// Now returns the current virtual time (elapsed since simulation
-// start).
-func (s *Simulator) Now() time.Duration { return s.now }
-
-// Rand returns the simulator's deterministic random source.
-func (s *Simulator) Rand() *rand.Rand { return s.rng }
-
-// Steps reports how many events have executed.
-func (s *Simulator) Steps() uint64 { return s.steps }
-
-// push inserts e into the heap (sift-up). The only allocation is the
-// amortized growth of the backing slice, which stops once the queue
-// reaches its high-water mark.
-func (s *Simulator) push(e event) {
-	s.events = append(s.events, e)
-	h := s.events
+// heapPush inserts e into the (at, seq) min-heap h (sift-up). The only
+// allocation is the amortized growth of the backing slice, which stops
+// once the heap reaches its high-water mark.
+func heapPush(h []event, e event) []event {
+	h = append(h, e)
 	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -134,19 +111,23 @@ func (s *Simulator) push(e event) {
 		h[i], h[parent] = h[parent], h[i]
 		i = parent
 	}
+	return h
 }
 
-// pop removes and returns the minimum event (sift-down). The vacated
-// tail slot is zeroed so the heap does not pin dead closures.
-func (s *Simulator) pop() event {
-	h := s.events
+// heapPop removes and returns the minimum event (sift-down). The
+// vacated tail slot is zeroed so the heap does not pin dead closures.
+func heapPop(h []event) (event, []event) {
 	min := h[0]
 	n := len(h) - 1
 	h[0] = h[n]
 	h[n] = event{}
 	h = h[:n]
-	s.events = h
-	i := 0
+	siftDown(h, 0)
+	return min, h
+}
+
+func siftDown(h []event, i int) {
+	n := len(h)
 	for {
 		l := 2*i + 1
 		if l >= n {
@@ -162,7 +143,289 @@ func (s *Simulator) pop() event {
 		h[i], h[small] = h[small], h[i]
 		i = small
 	}
-	return min
+}
+
+// heapify establishes the heap invariant over an unsorted bucket.
+func heapify(h []event) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
+}
+
+// node is one bucketed event in the shared pool, linked intrusively
+// into its tick's bucket list. Bucket lists are unordered (LIFO push);
+// the (at, seq) order is established by heapifying into cur when the
+// wheel reaches the tick, so list order never affects dispatch order.
+type node struct {
+	ev   event
+	next int32 // pool index of the next node in the bucket, -1 = end
+}
+
+// Simulator is a single-threaded discrete-event scheduler. It is not
+// safe for concurrent use; all callbacks run on the caller's
+// goroutine inside Run.
+type Simulator struct {
+	now time.Duration
+	seq uint64
+	rng *rand.Rand
+
+	// Calendar queue state. cur holds the events of tick curTick as an
+	// (at, seq) min-heap; bh[t & wheelMask] heads the intrusive list of
+	// pool nodes for a pending tick t in (curTick, curTick+wheelSize];
+	// occ is the bucket-occupancy bitmap; far is the overflow min-heap
+	// for ticks beyond the wheel horizon. count is the total number of
+	// pending events across all three.
+	curTick int64
+	cur     []event
+	bh      []int32 // bucket heads, len wheelSize, -1 = empty
+	pool    []node
+	free    int32 // pool freelist head, -1 = none
+	occ     [occWords]uint64
+	near    int // events currently stored in buckets
+	far     []event
+	count   int
+
+	// Steps counts executed events, to bound runaway simulations.
+	steps uint64
+
+	// MaxSteps aborts Run with a panic after this many events; zero
+	// means no limit. Used to catch livelocks in tests.
+	MaxSteps uint64
+}
+
+// New returns a simulator whose randomness derives entirely from seed.
+func New(seed int64) *Simulator {
+	s := &Simulator{
+		rng:  rand.New(rand.NewSource(seed)),
+		bh:   make([]int32, wheelSize),
+		free: -1,
+	}
+	for i := range s.bh {
+		s.bh[i] = -1
+	}
+	return s
+}
+
+// Reset rewinds the simulator to the state New(seed) would produce,
+// keeping every queue's backing storage so a reused simulator
+// schedules allocation-free from the first event. Pending events are
+// discarded; callers that pooled objects riding the queue (AfterArg
+// payloads) should reclaim them with ForEachPendingArg first.
+// Re-seeding the existing rand.Rand in place yields the identical
+// stream a fresh rand.New(rand.NewSource(seed)) would, so trial
+// results do not depend on whether the simulator was reused.
+func (s *Simulator) Reset(seed int64) {
+	for i := range s.cur {
+		s.cur[i] = event{} // unpin dead closures and payloads
+	}
+	s.cur = s.cur[:0]
+	for i := range s.far {
+		s.far[i] = event{}
+	}
+	s.far = s.far[:0]
+	for w := range s.occ {
+		for word := s.occ[w]; word != 0; word &= word - 1 {
+			s.bh[w<<6+bits.TrailingZeros64(word)] = -1
+		}
+		s.occ[w] = 0
+	}
+	// Rebuild the pool freelist over the whole node array, zeroing the
+	// events so dead closures and payloads are unpinned. Freelist order
+	// only selects storage slots, never dispatch order, so this cannot
+	// perturb results.
+	for i := range s.pool {
+		s.pool[i] = node{next: int32(i) - 1}
+	}
+	if len(s.pool) > 0 {
+		s.free = int32(len(s.pool)) - 1
+	} else {
+		s.free = -1
+	}
+	s.near = 0
+	s.count = 0
+	s.curTick = 0
+	s.now = 0
+	s.seq = 0
+	s.steps = 0
+	s.MaxSteps = 0
+	s.rng.Seed(seed)
+}
+
+// ForEachPendingArg visits the payload of every pending AfterArg
+// event, in unspecified order. It exists so object pools can recover
+// in-flight payloads (e.g. netem packets still "on the wire") before
+// Reset discards the queue.
+func (s *Simulator) ForEachPendingArg(f func(any)) {
+	visit := func(evs []event) {
+		for i := range evs {
+			if evs[i].parg != nil {
+				f(evs[i].parg)
+			}
+		}
+	}
+	visit(s.cur)
+	for w := range s.occ {
+		for word := s.occ[w]; word != 0; word &= word - 1 {
+			for n := s.bh[w<<6+bits.TrailingZeros64(word)]; n >= 0; n = s.pool[n].next {
+				if s.pool[n].ev.parg != nil {
+					f(s.pool[n].ev.parg)
+				}
+			}
+		}
+	}
+	visit(s.far)
+}
+
+// Now returns the current virtual time (elapsed since simulation
+// start).
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Steps reports how many events have executed.
+func (s *Simulator) Steps() uint64 { return s.steps }
+
+// schedule routes e to the cur heap (current tick — or, defensively,
+// any past tick), a wheel bucket (within the horizon), or the far
+// heap (beyond it). All three paths are allocation-free once their
+// backing storage has reached its high-water mark.
+func (s *Simulator) schedule(e event) {
+	s.count++
+	tk := int64(e.at) >> tickBits
+	d := tk - s.curTick
+	switch {
+	case d <= 0:
+		// Current tick (or an already-passed tick, which cannot arise
+		// from the public API but is safe regardless): the cur heap
+		// dispatches strictly by (at, seq), so ordering is exact.
+		s.cur = heapPush(s.cur, e)
+	case d <= wheelSize:
+		s.bucketPush(tk&wheelMask, e)
+	default:
+		s.far = heapPush(s.far, e)
+	}
+}
+
+// bucketPush links e into the bucket at wheel index i, taking a node
+// from the freelist (or growing the shared pool toward its high-water
+// mark — the queue's only steady-state allocation source).
+func (s *Simulator) bucketPush(i int64, e event) {
+	n := s.free
+	if n >= 0 {
+		s.free = s.pool[n].next
+		s.pool[n].ev = e
+	} else {
+		s.pool = append(s.pool, node{ev: e})
+		n = int32(len(s.pool)) - 1
+	}
+	s.pool[n].next = s.bh[i]
+	if s.bh[i] < 0 {
+		s.occ[i>>6] |= 1 << uint(i&63)
+	}
+	s.bh[i] = n
+	s.near++
+}
+
+// scanNext returns the next occupied tick in (curTick,
+// curTick+wheelSize]. Callers must ensure s.near > 0.
+func (s *Simulator) scanNext() int64 {
+	start := (s.curTick + 1) & wheelMask
+	w := int(start >> 6)
+	word := s.occ[w] &^ (1<<uint(start&63) - 1)
+	for i := 0; i <= occWords; i++ {
+		if word != 0 {
+			idx := int64(w<<6 + bits.TrailingZeros64(word))
+			delta := (idx - start) & wheelMask
+			return s.curTick + 1 + delta
+		}
+		w = (w + 1) & (occWords - 1)
+		word = s.occ[w]
+	}
+	panic("sim: occupancy bitmap inconsistent with near count")
+}
+
+// advanceTo moves the wheel to tick tk: the far heap is drained into
+// any buckets now inside the horizon, and tk's bucket list is drained
+// into the cur heap (freeing its nodes) and heapified. cur's backing
+// array keeps its high-water capacity across ticks, so steady state
+// allocates nothing here.
+func (s *Simulator) advanceTo(tk int64) {
+	s.curTick = tk
+	// Drain tick tk's bucket BEFORE migrating far events: a far event
+	// at tick tk+wheelSize maps to the same bucket residue as tk, and
+	// draining far first would sweep it into cur a whole revolution
+	// early, dispatching it ahead of nearer buckets.
+	i := tk & wheelMask
+	s.occ[i>>6] &^= 1 << uint(i&63)
+	for n := s.bh[i]; n >= 0; {
+		s.cur = append(s.cur, s.pool[n].ev)
+		s.pool[n].ev = event{} // unpin
+		nx := s.pool[n].next
+		s.pool[n].next = s.free
+		s.free = n
+		n = nx
+	}
+	s.bh[i] = -1
+	s.near -= len(s.cur)
+	heapify(s.cur)
+	if len(s.far) > 0 {
+		s.drainFar()
+	}
+}
+
+// drainFar migrates far-heap events whose tick has come inside the
+// wheel horizon into their buckets.
+func (s *Simulator) drainFar() {
+	limit := s.curTick + wheelSize
+	for len(s.far) > 0 && int64(s.far[0].at)>>tickBits <= limit {
+		var e event
+		e, s.far = heapPop(s.far)
+		s.bucketPush((int64(e.at)>>tickBits)&wheelMask, e)
+	}
+}
+
+// pop removes and returns the globally minimal (at, seq) event.
+// Callers must ensure s.count > 0.
+func (s *Simulator) pop() event {
+	for {
+		if len(s.cur) > 0 {
+			var e event
+			e, s.cur = heapPop(s.cur)
+			s.count--
+			return e
+		}
+		if s.near > 0 {
+			s.advanceTo(s.scanNext())
+			continue
+		}
+		// Wheel empty: jump the horizon to the far heap's minimum and
+		// let the next iteration load its bucket.
+		s.curTick = int64(s.far[0].at)>>tickBits - 1
+		s.drainFar()
+	}
+}
+
+// peekAt returns the virtual time of the next pending event without
+// dispatching it (and without moving the wheel).
+func (s *Simulator) peekAt() (time.Duration, bool) {
+	if len(s.cur) > 0 {
+		return s.cur[0].at, true
+	}
+	if s.near > 0 {
+		n := s.bh[s.scanNext()&wheelMask]
+		min := s.pool[n].ev.at
+		for n = s.pool[n].next; n >= 0; n = s.pool[n].next {
+			if at := s.pool[n].ev.at; at < min {
+				min = at
+			}
+		}
+		return min, true
+	}
+	if len(s.far) > 0 {
+		return s.far[0].at, true
+	}
+	return 0, false
 }
 
 // At schedules fn at absolute virtual time t. Scheduling in the past
@@ -173,7 +436,7 @@ func (s *Simulator) At(t time.Duration, fn func()) {
 		t = s.now
 	}
 	s.seq++
-	s.push(event{at: t, seq: s.seq, fn: fn})
+	s.schedule(event{at: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn d from now. Negative d behaves like zero.
@@ -195,13 +458,13 @@ func (s *Simulator) AfterArg(d time.Duration, fn func(any), arg any) {
 		d = 0
 	}
 	s.seq++
-	s.push(event{at: s.now + d, seq: s.seq, pfn: fn, parg: arg})
+	s.schedule(event{at: s.now + d, seq: s.seq, pfn: fn, parg: arg})
 }
 
 // step executes the earliest pending event and returns false when the
 // queue is empty.
 func (s *Simulator) step() bool {
-	if len(s.events) == 0 {
+	if s.count == 0 {
 		return false
 	}
 	e := s.pop()
@@ -234,7 +497,11 @@ func (s *Simulator) Run() {
 // RunUntil executes events with time <= t, then advances the clock to
 // exactly t.
 func (s *Simulator) RunUntil(t time.Duration) {
-	for len(s.events) > 0 && s.events[0].at <= t {
+	for {
+		at, ok := s.peekAt()
+		if !ok || at > t {
+			break
+		}
 		s.step()
 	}
 	if s.now < t {
@@ -281,7 +548,7 @@ func (t *Timer) Reset(d time.Duration) {
 		at = s.now
 	}
 	s.seq++
-	s.push(event{at: at, seq: s.seq, timer: t, gen: t.gen})
+	s.schedule(event{at: at, seq: s.seq, timer: t, gen: t.gen})
 }
 
 // Stop disarms the timer. It is safe to stop a stopped timer.

@@ -94,6 +94,31 @@ func TestTimerResetZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestCrossTickZeroAlloc exercises every calendar-queue region — the
+// current-tick heap, wheel buckets at many distinct ticks (the shared
+// node pool and its freelist), the horizon edge, and the far overflow
+// heap — and proves schedule+dispatch stays allocation-free once each
+// structure has reached its high-water mark.
+func TestCrossTickZeroAlloc(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	mixed := func() {
+		base := s.Now()
+		for i := 0; i < 8; i++ {
+			s.At(base, fn)                                          // cur heap
+			s.After(time.Duration(i+1)<<tickBits, fn)               // wheel buckets
+			s.After(wheelSize<<tickBits, fn)                        // horizon edge
+			s.After((wheelSize+100+time.Duration(i))<<tickBits, fn) // far heap
+		}
+		s.Run()
+	}
+	mixed() // warm: grows pool, cur, far to high-water
+	allocs := testing.AllocsPerRun(100, mixed)
+	if allocs != 0 {
+		t.Errorf("cross-tick schedule + Run: %.1f allocs/op, want 0", allocs)
+	}
+}
+
 // BenchmarkAfter measures raw schedule+dispatch cost of the event
 // queue.
 func BenchmarkAfter(b *testing.B) {

@@ -25,11 +25,10 @@ func TestSteadyStateTransferZeroAlloc(t *testing.T) {
 		conn.Server.Write(payload)
 		s.Run()
 	})
-	// The only remaining allocation source is the Karn sentAt map's
-	// internal growth, which is amortized; budget a couple per 256 KiB
-	// (180+ segments) rather than demanding literal zero from the map.
-	if allocs > 2 {
-		t.Errorf("steady-state 256KiB transfer: %.1f allocs/op, want <= 2", allocs)
+	// With the Karn sentAt map replaced by the recycled sentQ slice,
+	// the transport data path is allocation-free outright.
+	if allocs != 0 {
+		t.Errorf("steady-state 256KiB transfer: %.1f allocs/op, want 0", allocs)
 	}
 }
 

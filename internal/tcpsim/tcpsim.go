@@ -105,6 +105,13 @@ type heldSeg struct {
 	buf []byte
 }
 
+// sentStamp is one Karn RTT bookkeeping entry: the end sequence of a
+// first-transmission segment and when it left.
+type sentStamp struct {
+	end uint32
+	at  time.Duration
+}
+
 // Endpoint is one side of a simulated TCP connection. Not safe for
 // concurrent use; it runs entirely on the simulator goroutine.
 type Endpoint struct {
@@ -129,8 +136,16 @@ type Endpoint struct {
 	rtoTimer       *sim.Timer
 	rto            time.Duration
 	srtt, rttvar   time.Duration
-	sentAt         map[uint32]time.Duration // end-seq -> first-send time (Karn)
 	broken         bool
+
+	// sentQ[sentOff:] records (end-seq, first-send time) per
+	// first-transmission segment for Karn-filtered RTT sampling. sndNxt
+	// only grows, so the queue is sorted in send order and cumulative
+	// ACKs drain it from the front — replacing the end-seq map whose
+	// per-ACK iteration sat on the hot path. Cleared wholesale on
+	// retransmission (Karn: no samples from a retransmit window).
+	sentQ   []sentStamp
+	sentOff int
 
 	// Receive state. held is kept sorted ascending by wrap-safe
 	// distance (seq - rcvNxt); spare recycles hold buffers.
@@ -159,12 +174,11 @@ type Endpoint struct {
 // for the duration of the callback). name labels diagnostics.
 func New(s *sim.Simulator, cfg Config, name string, out func(*netem.Packet), app func([]byte)) *Endpoint {
 	e := &Endpoint{
-		name:   name,
-		s:      s,
-		cfg:    cfg.withDefaults(),
-		out:    out,
-		app:    app,
-		sentAt: make(map[uint32]time.Duration),
+		name: name,
+		s:    s,
+		cfg:  cfg.withDefaults(),
+		out:  out,
+		app:  app,
 	}
 	e.cwnd = float64(e.cfg.InitialCwnd * e.cfg.MSS)
 	e.ssthresh = 1 << 30
@@ -180,7 +194,7 @@ func (e *Endpoint) SetPool(pp *netem.PacketPool) { e.pool = pp }
 
 // Reset returns the endpoint to the state New would produce with cfg,
 // keeping the simulator wiring, pool, timer object, and every buffer's
-// capacity (send buffer, held segments, spares, the sentAt map). The
+// capacity (send buffer, held segments, spares, the RTT queue). The
 // OnBreak and OnRetransmit callbacks are cleared, matching a freshly
 // constructed endpoint; rewire them after Reset. Must be called after
 // the owning simulator has been Reset, so the stale RTO timer
@@ -197,7 +211,8 @@ func (e *Endpoint) Reset(cfg Config) {
 	e.rtoTimer.Stop()
 	e.rto = e.cfg.RTOInit
 	e.srtt, e.rttvar = 0, 0
-	clear(e.sentAt)
+	e.sentQ = e.sentQ[:0]
+	e.sentOff = 0
 	e.broken = false
 	e.rcvNxt = 0
 	for i := range e.held {
@@ -271,7 +286,7 @@ func (e *Endpoint) trySend() {
 		}
 		off := e.sendOff + inFlight
 		e.emit(e.sndNxt, e.sendBuf[off:off+n], false)
-		e.sentAt[e.sndNxt+uint32(n)] = e.s.Now()
+		e.sentQ = append(e.sentQ, sentStamp{end: e.sndNxt + uint32(n), at: e.s.Now()})
 		e.sndNxt += uint32(n)
 	}
 	if e.Outstanding() > 0 && !e.rtoTimer.Armed() {
@@ -317,7 +332,8 @@ func (e *Endpoint) retransmitHead() {
 	// head would otherwise be matched against the first-transmission
 	// timestamp of a later segment, poisoning SRTT with the whole
 	// stall duration.
-	clear(e.sentAt)
+	e.sentQ = e.sentQ[:0]
+	e.sentOff = 0
 	e.emit(e.sndUna, e.sendBuf[e.sendOff:e.sendOff+n], true)
 	if e.OnRetransmit != nil {
 		e.OnRetransmit(e.sndUna, e.sndUna+uint32(n))
@@ -378,14 +394,24 @@ func (e *Endpoint) HandlePacket(p *netem.Packet) {
 func (e *Endpoint) handleAck(ack uint32, pureAck bool) {
 	if seqLess(e.sndUna, ack) && seqLEQ(ack, e.sndNxt) {
 		acked := ack - e.sndUna
-		// RTT sample (Karn-filtered).
-		if t0, ok := e.sentAt[ack]; ok {
-			e.updateRTT(e.s.Now() - t0)
-		}
-		for endSeq := range e.sentAt {
-			if seqLEQ(endSeq, ack) {
-				delete(e.sentAt, endSeq)
+		// Drain fully-acked entries from the RTT queue front (it is in
+		// ascending end-seq order), sampling on an exact match — the
+		// ACK for a whole segment's first transmission (Karn-filtered).
+		for e.sentOff < len(e.sentQ) && seqLEQ(e.sentQ[e.sentOff].end, ack) {
+			if e.sentQ[e.sentOff].end == ack {
+				e.updateRTT(e.s.Now() - e.sentQ[e.sentOff].at)
 			}
+			e.sentOff++
+		}
+		if e.sentOff == len(e.sentQ) {
+			e.sentQ = e.sentQ[:0]
+			e.sentOff = 0
+		} else if e.sentOff > 64 && e.sentOff*2 >= len(e.sentQ) {
+			// Compact so the backing array stays bounded by the
+			// in-flight window instead of sliding forever.
+			n := copy(e.sentQ, e.sentQ[e.sentOff:])
+			e.sentQ = e.sentQ[:n]
+			e.sentOff = 0
 		}
 		e.sendOff += int(acked)
 		if e.sendOff == len(e.sendBuf) {
