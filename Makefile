@@ -20,19 +20,21 @@ bench:
 bench-compare:
 	sh scripts/bench.sh
 
-# Regenerate the committed-profile inputs (cpu.pprof/mem.pprof are
-# gitignored; this refreshes them locally) so the next perf PR starts
-# from profiles of the current code rather than a stale snapshot.
-# Alias of `make profile` with an explicit reminder of the workload.
+# Regenerate the profile inputs (profiles/ is gitignored; this
+# refreshes them locally) so the next perf PR starts from profiles of
+# the current code rather than a stale snapshot. Alias of
+# `make profile` with an explicit reminder of the workload.
 bench-profile: profile
 
 # Profile a representative sweep (Table II: full-attack trials, the
-# dominant workload). Writes cpu.pprof + mem.pprof; inspect with
-# `go tool pprof cpu.pprof`. See EXPERIMENTS.md "Profiling".
+# dominant workload). Writes profiles/cpu.pprof + profiles/mem.pprof;
+# inspect with `go tool pprof profiles/cpu.pprof`. See EXPERIMENTS.md
+# "Profiling".
 profile:
+	@mkdir -p profiles
 	go run ./cmd/h2attack -table2 -trials 100 -seed 1 \
-		-cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
-	@echo "wrote cpu.pprof and mem.pprof"
+		-cpuprofile profiles/cpu.pprof -memprofile profiles/mem.pprof > /dev/null
+	@echo "wrote profiles/cpu.pprof and profiles/mem.pprof"
 
 # Determinism gate: regenerate the sweep output and diff it against
 # the committed golden file. Any byte of drift fails.

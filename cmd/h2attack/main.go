@@ -10,12 +10,19 @@
 //	h2attack -delay             # Section IV-A control (uniform delay)
 //	h2attack -all               # everything
 //	h2attack -trial -seed 42    # one verbose full-attack trial
+//	h2attack -events seed=42    # flight-recorder dump of one trial
 //
 // Use -trials and -seed to control the sweep size and reproducibility.
 // Sweeps fan their trials across -j worker goroutines (default: all
 // CPUs); the printed tables are identical at every -j because trial
 // seeds derive from the trial index, not the worker. -progress shows
 // a live completion/ETA line on stderr.
+//
+// -metrics prints a cross-layer metrics summary after each sweep
+// (counters and histograms per configuration segment, plus wall-clock
+// throughput); -metrics-json FILE exports the same snapshots as JSON
+// next to the BENCH_*.json baselines. The sim-domain portion of both
+// is byte-identical at every -j.
 package main
 
 import (
@@ -24,9 +31,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/website"
 )
@@ -45,6 +55,9 @@ func run() int {
 		defenses   = flag.Bool("defenses", false, "evaluate the section VII defence proposals")
 		all        = flag.Bool("all", false, "run every experiment")
 		trial      = flag.Bool("trial", false, "run one verbose full-attack trial")
+		metrics    = flag.Bool("metrics", false, "print a cross-layer metrics summary after each sweep")
+		metricsOut = flag.String("metrics-json", "", "write each sweep's metrics snapshot as JSON to this file")
+		events     = flag.String("events", "", "dump one full-attack trial's flight-recorder events (value: seed=N or N)")
 		trials     = flag.Int("trials", 100, "page loads per configuration")
 		seed       = flag.Int64("seed", 1, "base seed (trial i uses seed+i)")
 		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "trial worker goroutines per sweep (1 = serial)")
@@ -111,45 +124,103 @@ func run() int {
 		*table1, *fig5, *drops, *table2, *delay, *defenses = true, true, true, true, true, true
 	}
 	ran := false
-	if *table1 {
-		fmt.Print(experiment.FormatTableI(experiment.TableI(*trials, *seed, sweepOpts("table1")...)))
+	snaps := map[string]*obs.Snapshot{}
+	// runSweep executes one sweep, attaching a fresh metrics registry
+	// when -metrics or -metrics-json asked for one, and prints the
+	// sweep's table followed by its metrics summary.
+	runSweep := func(name string, fn func(opts []experiment.Option) string) {
+		opts := sweepOpts(name)
+		var reg *obs.Registry
+		if *metrics || *metricsOut != "" {
+			reg = obs.NewRegistry()
+			opts = append(opts, experiment.Metrics(reg))
+		}
+		fmt.Print(fn(opts))
 		fmt.Println()
+		if reg != nil {
+			snap := reg.Snapshot()
+			snaps[name] = snap
+			if *metrics {
+				fmt.Printf("metrics: %s\n%s\n", name, snap.Text())
+			}
+		}
 		ran = true
+	}
+	if *table1 {
+		runSweep("table1", func(opts []experiment.Option) string {
+			return experiment.FormatTableI(experiment.TableI(*trials, *seed, opts...))
+		})
 	}
 	if *fig5 {
-		fmt.Print(experiment.FormatFig5(experiment.Fig5(*trials, *seed, sweepOpts("fig5")...)))
-		fmt.Println()
-		ran = true
+		runSweep("fig5", func(opts []experiment.Option) string {
+			return experiment.FormatFig5(experiment.Fig5(*trials, *seed, opts...))
+		})
 	}
 	if *drops {
-		fmt.Print(experiment.FormatDropSweep(experiment.DropSweep(*trials, *seed, sweepOpts("drops")...)))
-		fmt.Println()
-		ran = true
+		runSweep("drops", func(opts []experiment.Option) string {
+			return experiment.FormatDropSweep(experiment.DropSweep(*trials, *seed, opts...))
+		})
 	}
 	if *table2 {
-		fmt.Print(experiment.FormatTableII(experiment.TableII(*trials, *seed, sweepOpts("table2")...)))
-		fmt.Println()
-		ran = true
+		runSweep("table2", func(opts []experiment.Option) string {
+			return experiment.FormatTableII(experiment.TableII(*trials, *seed, opts...))
+		})
 	}
 	if *delay {
-		fmt.Print(experiment.FormatDelaySweep(experiment.DelaySweep(*trials, *seed, sweepOpts("delay")...)))
-		fmt.Println()
-		ran = true
+		runSweep("delay", func(opts []experiment.Option) string {
+			return experiment.FormatDelaySweep(experiment.DelaySweep(*trials, *seed, opts...))
+		})
 	}
 	if *defenses {
-		fmt.Print(experiment.FormatDefenses(experiment.Defenses(*trials, *seed, sweepOpts("defenses")...)))
-		fmt.Println()
-		ran = true
+		runSweep("defenses", func(opts []experiment.Option) string {
+			return experiment.FormatDefenses(experiment.Defenses(*trials, *seed, opts...))
+		})
 	}
 	if *trial {
 		runOneTrial(*seed)
 		ran = true
+	}
+	if *events != "" {
+		if err := runEventDump(*events); err != nil {
+			fmt.Fprintf(os.Stderr, "h2attack: -events: %v\n", err)
+			return 1
+		}
+		ran = true
+	}
+	if *metricsOut != "" && len(snaps) > 0 {
+		data, err := obs.MarshalSweeps(snaps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "h2attack: -metrics-json: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*metricsOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "h2attack: -metrics-json: %v\n", err)
+			return 1
+		}
 	}
 	if !ran {
 		flag.Usage()
 		return 2
 	}
 	return 0
+}
+
+// runEventDump replays one full-attack trial with the flight recorder
+// attached and prints the recorded event stream. spec is the -events
+// flag value: the trial seed, optionally prefixed "seed=".
+func runEventDump(spec string) error {
+	seed, err := strconv.ParseInt(strings.TrimPrefix(spec, "seed="), 10, 64)
+	if err != nil {
+		return fmt.Errorf("want seed=N or N, got %q", spec)
+	}
+	w := experiment.NewWorld()
+	rec := obs.NewRecorder(4096)
+	w.SetRecorder(rec)
+	r := w.RunTrial(experiment.TrialParams{Seed: seed, Mode: experiment.ModeFullAttack})
+	fmt.Printf("seed %d: flight recorder, full paper attack (broken=%v resets=%d re-requests=%d retransmissions=%d)\n",
+		seed, r.Broken, r.Resets, r.ReRequests, r.Retransmissions)
+	fmt.Print(rec.Dump())
+	return nil
 }
 
 // runOneTrial narrates a single full-attack page load.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/h2sim"
+	"repro/internal/obs"
 )
 
 // AttackConfig is the paper's phase schedule (section V):
@@ -64,6 +65,11 @@ type Attack struct {
 	cfg   AttackConfig
 	phase int
 
+	// Obs receives adversary-side metrics (phase transitions,
+	// controller actions, prediction outcomes). Set it before Arm /
+	// ArmPassive; the zero Sink discards everything.
+	Obs obs.Sink
+
 	infs []Inference // reused by Infer
 }
 
@@ -87,6 +93,8 @@ func (a *Attack) reset(cfg AttackConfig) {
 	a.cfg = cfg
 	a.Controller.Reset()
 	a.Monitor.Reset()
+	a.Controller.Obs = a.Obs
+	a.Monitor.Obs = a.Obs
 	a.Predictor.Site = a.sess.Site
 	a.infs = a.infs[:0]
 }
@@ -140,6 +148,8 @@ func (a *Attack) onGet(count int) {
 		return
 	}
 	a.phase = 2
+	a.Obs.Inc(obs.CAtkPhase2)
+	a.Obs.Event(a.Controller.s.Now(), obs.EvAtkPhase, 2, int64(count))
 	a.Controller.SetBandwidth(a.cfg.ThrottleBps)
 	a.Controller.StartDrops(a.cfg.DropRate, a.cfg.DropDuration)
 	s := a.Controller.s
@@ -161,6 +171,8 @@ func (a *Attack) enterPhase3() {
 		return
 	}
 	a.phase = 3
+	a.Obs.Inc(obs.CAtkPhase3)
+	a.Obs.Event(a.Controller.s.Now(), obs.EvAtkPhase, 3, 0)
 	a.Controller.StopDrops()
 	a.Controller.SetSpacing(a.cfg.Phase2Spacing)
 }
@@ -171,5 +183,12 @@ func (a *Attack) enterPhase3() {
 // across trials.
 func (a *Attack) Infer() []Inference {
 	a.infs = a.Predictor.inferAppend(a.infs[:0], a.Monitor.ResponseRecords())
+	for i := range a.infs {
+		if a.infs[i].Object != nil {
+			a.Obs.Inc(obs.CPredIdentified)
+		} else {
+			a.Obs.Inc(obs.CPredUnknown)
+		}
+	}
 	return a.infs
 }

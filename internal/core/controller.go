@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -50,6 +51,9 @@ type Controller struct {
 
 	// Stats accumulates counters.
 	Stats ControllerStats
+
+	// Obs receives metric increments; the zero Sink discards them.
+	Obs obs.Sink
 }
 
 // NewController wires a controller to the path it manipulates. Call
@@ -72,6 +76,7 @@ func (c *Controller) Reset() {
 	c.dropRate = 0
 	c.dropUntil = 0
 	c.Stats = ControllerStats{}
+	c.Obs = obs.Sink{}
 }
 
 // SetSpacing enforces a minimum inter-arrival time between
@@ -129,6 +134,8 @@ func (c *Controller) Intercept(dir trace.Direction, p *netem.Packet) netem.Decis
 			hold += time.Duration(c.s.Rand().Int63n(int64(c.spacing) + 1))
 			if hold > 0 {
 				c.Stats.Held++
+				c.Obs.Inc(obs.CCtlHeld)
+				c.Obs.ObserveDuration(obs.HCtlHold, hold)
 				return netem.Delay(hold)
 			}
 		}
@@ -138,6 +145,7 @@ func (c *Controller) Intercept(dir trace.Direction, p *netem.Packet) netem.Decis
 		if c.DroppingNow() && len(p.Payload) > 0 {
 			if c.s.Rand().Float64() < c.dropRate {
 				c.Stats.Dropped++
+				c.Obs.Inc(obs.CCtlDropped)
 				return netem.Drop()
 			}
 		}

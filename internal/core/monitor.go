@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tlsrec"
 	"repro/internal/trace"
@@ -46,6 +47,9 @@ type Monitor struct {
 	getCount   int
 	seenFirstC bool // first c->s app record is the client SETTINGS
 
+	// Obs receives metric increments; the zero Sink discards them.
+	Obs obs.Sink
+
 	respScratch []trace.RecordObs // reused by ResponseRecords
 }
 
@@ -65,6 +69,7 @@ func (m *Monitor) Reset() {
 	m.parserS2C.Reset()
 	m.getCount = 0
 	m.seenFirstC = false
+	m.Obs = obs.Sink{}
 }
 
 // Tap ingests reassembled stream bytes from the middlebox.
@@ -97,6 +102,7 @@ func (m *Monitor) classifyClientRecord(h tlsrec.HeaderInfo) {
 		return
 	}
 	if h.Length >= m.ResetMinCipher {
+		m.Obs.Inc(obs.CMonResetBurst)
 		if m.OnResetBurst != nil {
 			m.OnResetBurst()
 		}
@@ -106,6 +112,7 @@ func (m *Monitor) classifyClientRecord(h tlsrec.HeaderInfo) {
 		return
 	}
 	m.getCount++
+	m.Obs.Inc(obs.CMonGet)
 	if m.OnGet != nil {
 		m.OnGet(m.getCount)
 	}

@@ -95,6 +95,13 @@ type TrialParams struct {
 	// the result HTML is requested, so the client never requests them
 	// and the wire order carries no secret.
 	PushEmblems bool
+
+	// ObsSegment selects which metrics segment this trial's counters
+	// land in when the sweep runs with the Metrics option — sweeps set
+	// it to the configuration index (the jitter column, the drop rate,
+	// …) so per-configuration aggregates stay separable. Ignored
+	// without metrics.
+	ObsSegment int
 }
 
 // TrialResult is everything the evaluations consume.

@@ -1,18 +1,31 @@
 package experiment
 
 import (
+	"time"
+
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
 // Option configures how a sweep executes its trials. Options affect
-// scheduling only — the rows a sweep returns are identical at every
-// worker count, because each trial is a pure function of its index
-// (see internal/runner).
+// scheduling and observation only — the rows a sweep returns are
+// identical at every worker count, because each trial is a pure
+// function of its index (see internal/runner).
 type Option func(*sweepConfig)
 
 type sweepConfig struct {
 	workers    int
 	onProgress func(runner.Progress)
+	metrics    *obs.Registry
+}
+
+// parse folds the option list into a config.
+func parseOpts(opts []Option) sweepConfig {
+	var cfg sweepConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
 }
 
 // Workers sets the number of concurrent trial executors for a sweep.
@@ -30,6 +43,26 @@ func OnProgress(f func(runner.Progress)) Option {
 	return func(c *sweepConfig) { c.onProgress = f }
 }
 
+// Metrics collects the sweep's cross-layer metrics into reg: each
+// worker gets one shard (merged by reg.Snapshot at the caller's
+// leisure), the sweep labels reg's segments with its configuration
+// axis, and per-trial wall-clock latency feeds reg's wall section.
+// Use a fresh Registry per sweep; the sim-domain snapshot is
+// byte-identical at any worker count.
+func Metrics(reg *obs.Registry) Option {
+	return func(c *sweepConfig) { c.metrics = reg }
+}
+
+// setSegments labels the supplied registry's segments with the
+// sweep's configuration axis (a no-op when the sweep runs without
+// Metrics). Sweeps call it before their first trial so that each
+// configuration's counters land in a separable, labelled segment.
+func setSegments(opts []Option, labels ...string) {
+	if cfg := parseOpts(opts); cfg.metrics != nil {
+		cfg.metrics.SetSegments(labels...)
+	}
+}
+
 // runTrials executes n trials through the worker pool, building the
 // i-th trial's parameters with mk(i), and returns the results in
 // trial order. Each worker keeps one reusable World, reset per trial,
@@ -38,14 +71,23 @@ func OnProgress(f func(runner.Progress)) Option {
 // (TrialResult{Broken: true}) so a single bad seed cannot kill a
 // sweep; every aggregate already accounts broken trials.
 func runTrials(n int, opts []Option, mk func(i int) TrialParams) []TrialResult {
-	var cfg sweepConfig
-	for _, o := range opts {
-		o(&cfg)
+	cfg := parseOpts(opts)
+	newState := NewWorld
+	var onTrialDone func(int, time.Duration)
+	if cfg.metrics != nil {
+		reg := cfg.metrics
+		newState = func() *World {
+			w := NewWorld()
+			w.SetMetrics(reg.NewShard())
+			return w
+		}
+		onTrialDone = func(_ int, elapsed time.Duration) { reg.ObserveTrialWall(elapsed) }
 	}
 	results, failures := runner.RunWith(n, runner.Options{
-		Workers:    cfg.workers,
-		OnProgress: cfg.onProgress,
-	}, NewWorld, func(w *World, i int) TrialResult {
+		Workers:     cfg.workers,
+		OnProgress:  cfg.onProgress,
+		OnTrialDone: onTrialDone,
+	}, newState, func(w *World, i int) TrialResult {
 		return w.RunTrial(mk(i))
 	})
 	for _, f := range failures {

@@ -24,8 +24,9 @@ type TableIRow struct {
 // volume. trials page loads per jitter value (the paper used 100).
 func TableI(trials int, seed0 int64, opts ...Option) []TableIRow {
 	jitters := []time.Duration{0, 25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond}
+	setSegments(opts, "jitter=0ms", "jitter=25ms", "jitter=50ms", "jitter=100ms")
 	results := runTrials(len(jitters)*trials, opts, func(i int) TrialParams {
-		p := TrialParams{Seed: seed0 + int64(i%trials), Mode: ModeJitter, Spacing: jitters[i/trials]}
+		p := TrialParams{Seed: seed0 + int64(i%trials), Mode: ModeJitter, Spacing: jitters[i/trials], ObsSegment: i / trials}
 		if p.Spacing == 0 {
 			p.Mode = ModePassive
 		}
@@ -100,13 +101,19 @@ const Fig5Scale = 12_500
 // retransmissions and success cases.
 func Fig5(trials int, seed0 int64, opts ...Option) []Fig5Row {
 	labels := []int{1000, 800, 500, 100, 1}
+	segs := make([]string, len(labels))
+	for i, l := range labels {
+		segs[i] = fmt.Sprintf("bw=%dMbps", l)
+	}
+	setSegments(opts, segs...)
 	results := runTrials(len(labels)*trials, opts, func(i int) TrialParams {
 		return TrialParams{
-			Seed:      seed0 + int64(i%trials),
-			Mode:      ModeJitterThrottle,
-			Spacing:   50 * time.Millisecond,
-			Bandwidth: int64(labels[i/trials]) * Fig5Scale,
-			TimeLimit: 45 * time.Second,
+			Seed:       seed0 + int64(i%trials),
+			Mode:       ModeJitterThrottle,
+			Spacing:    50 * time.Millisecond,
+			Bandwidth:  int64(labels[i/trials]) * Fig5Scale,
+			TimeLimit:  45 * time.Second,
+			ObsSegment: i / trials,
 		}
 	})
 	rows := make([]Fig5Row, 0, len(labels))
@@ -177,13 +184,14 @@ type DropRow struct {
 // and a broken connection beyond it.
 func DropSweep(trials int, seed0 int64, opts ...Option) []DropRow {
 	rates := []float64{0, 0.4, 0.8, 0.95}
+	setSegments(opts, "drop=0%", "drop=40%", "drop=80%", "drop=95%")
 	results := runTrials(len(rates)*trials, opts, func(i int) TrialParams {
 		cfg := core.PaperAttack()
 		cfg.DropRate = rates[i/trials]
 		if cfg.DropRate == 0 {
 			cfg.DropDuration = time.Millisecond // phases advance, drops are moot
 		}
-		return TrialParams{Seed: seed0 + int64(i%trials), Mode: ModeFullAttack, Attack: cfg}
+		return TrialParams{Seed: seed0 + int64(i%trials), Mode: ModeFullAttack, Attack: cfg, ObsSegment: i / trials}
 	})
 	rows := make([]DropRow, 0, len(rates))
 	for ri, rate := range rates {
@@ -249,6 +257,7 @@ func TableII(trials int, seed0 int64, opts ...Option) TableIIResult {
 	var single, all [1 + website.PartyCount]int
 	gapsPrev := make([][]time.Duration, 1+website.PartyCount)
 	gapsNext := make([][]time.Duration, 1+website.PartyCount)
+	setSegments(opts, "full-attack")
 	results := runTrials(trials, opts, func(i int) TrialParams {
 		return TrialParams{Seed: seed0 + int64(i), Mode: ModeFullAttack}
 	})
@@ -368,8 +377,9 @@ type DelayRow struct {
 // delay actually deepens multiplexing by slowing the drain).
 func DelaySweep(trials int, seed0 int64, opts ...Option) []DelayRow {
 	delays := []time.Duration{0, 25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond}
+	setSegments(opts, "delay=0ms", "delay=25ms", "delay=50ms", "delay=100ms")
 	results := runTrials(len(delays)*trials, opts, func(i int) TrialParams {
-		return TrialParams{Seed: seed0 + int64(i%trials), Mode: ModePassive, UniformDelay: delays[i/trials]}
+		return TrialParams{Seed: seed0 + int64(i%trials), Mode: ModePassive, UniformDelay: delays[i/trials], ObsSegment: i / trials}
 	})
 	rows := make([]DelayRow, 0, len(delays))
 	for di, d := range delays {
@@ -424,6 +434,11 @@ func Defenses(trials int, seed0 int64, opts ...Option) []DefenseRow {
 		{"pad to 4KiB", false, 4096, false},
 		{"order + padding", true, 4096, false},
 	}
+	segs := make([]string, len(configs))
+	for i, cfg := range configs {
+		segs[i] = cfg.name
+	}
+	setSegments(opts, segs...)
 	results := runTrials(len(configs)*trials, opts, func(i int) TrialParams {
 		cfg := configs[i/trials]
 		return TrialParams{
@@ -432,6 +447,7 @@ func Defenses(trials int, seed0 int64, opts ...Option) []DefenseRow {
 			CanonicalOrder: cfg.canonical,
 			PadBucket:      cfg.pad,
 			PushEmblems:    cfg.push,
+			ObsSegment:     i / trials,
 		}
 	})
 	rows := make([]DefenseRow, 0, len(configs))

@@ -7,6 +7,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/h2sim"
+	"repro/internal/obs"
 	"repro/internal/website"
 )
 
@@ -30,6 +31,13 @@ type World struct {
 	// are fixed by the site model, so it is computed once.
 	pushPaths []string
 	pushMap   map[string][]string
+
+	// shard, when set, receives every trial's metric increments
+	// (segment selected by TrialParams.ObsSegment); rec, when set,
+	// flight-records each trial (reset at trial start, so after
+	// RunTrial it holds the last trial's events).
+	shard *obs.Shard
+	rec   *obs.Recorder
 }
 
 // NewWorld builds an empty world. The expensive components (session
@@ -38,6 +46,16 @@ type World struct {
 func NewWorld() *World {
 	return &World{rng: rand.New(rand.NewSource(1))}
 }
+
+// SetMetrics points the world's trials at one worker shard. Pass nil
+// to disable (the default): without a shard the whole stack runs with
+// zero Sinks and pays only the disabled-path branch.
+func (w *World) SetMetrics(shard *obs.Shard) { w.shard = shard }
+
+// SetRecorder attaches a flight recorder: each subsequent trial resets
+// it and records its typed events, so after RunTrial it holds that
+// trial's (most recent) events. Pass nil to detach.
+func (w *World) SetRecorder(rec *obs.Recorder) { w.rec = rec }
 
 // RunTrial executes one trial in this world. Equivalent to the
 // package-level RunTrial(p), amortizing construction across calls.
@@ -67,6 +85,11 @@ func (w *World) RunTrial(p TrialParams) TrialResult {
 	if p.PushEmblems {
 		serverCfg.Push = w.pushConfig(site, serverCfg.Push)
 	}
+	sink := w.shard.Sink(p.ObsSegment)
+	if w.rec != nil {
+		w.rec.Reset()
+		sink = sink.WithRecorder(w.rec)
+	}
 	sessCfg := h2sim.SessionConfig{
 		Seed:      p.Seed,
 		Path:      path,
@@ -74,6 +97,7 @@ func (w *World) RunTrial(p TrialParams) TrialResult {
 		Server:    serverCfg,
 		Client:    p.Client,
 		TimeLimit: p.TimeLimit,
+		Obs:       sink,
 	}
 	if w.sess == nil {
 		w.sess = h2sim.NewSession(site, sessCfg)
@@ -82,6 +106,7 @@ func (w *World) RunTrial(p TrialParams) TrialResult {
 		w.sess.Reset(site, sessCfg)
 	}
 	sess, atk := w.sess, w.atk
+	atk.Obs = sink
 
 	switch p.Mode {
 	case ModeJitter:
@@ -121,6 +146,13 @@ func (w *World) RunTrial(p TrialParams) TrialResult {
 	for i, party := range res.TruthOrder {
 		clean, _ := analysis.CleanCopy(res.Copies, website.EmblemID(party))
 		res.ImageClean[i] = clean
+	}
+	sink.Inc(obs.CTrial)
+	if res.Broken {
+		sink.Inc(obs.CTrialBroken)
+	}
+	if res.PageComplete {
+		sink.Inc(obs.CTrialComplete)
 	}
 	return res
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/h2"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
 	"repro/internal/tlsrec"
@@ -192,7 +193,8 @@ type Client struct {
 	recBuf   []byte
 	frameBuf []byte
 	blockBuf []byte
-	hdrFrame h2.HeadersFrame // scratch: a stack literal would escape through AppendFrame
+	hdrFrame h2.HeadersFrame   // scratch: a stack literal would escape through AppendFrame
+	rstFrame h2.RSTStreamFrame // scratch: same escape-avoidance for reset rounds
 	sbuf     []*clientStream
 	frameCb  func(h2.Frame) error
 	issueFn  func(any) // AfterArg callback for scheduled issues
@@ -210,6 +212,10 @@ type Client struct {
 
 	// OnComplete, when non-nil, fires once per completed object.
 	OnComplete func(objectID int)
+
+	// Obs receives metric increments and flight events; the zero Sink
+	// discards them.
+	Obs obs.Sink
 }
 
 // NewClient builds the client for a site. Call Attach then Start.
@@ -308,6 +314,7 @@ func (c *Client) Reset(cfg ClientConfig, site *website.Site) {
 	// log grows in one allocation instead of a doubling chain.
 	c.Requests = make([]RequestLog, 0, len(site.Schedule)+8)
 	c.OnComplete = nil
+	c.Obs = obs.Sink{}
 }
 
 // stream looks up an open stream by raw ID; nil if absent.
@@ -458,6 +465,8 @@ func (c *Client) issue(objectID int, reissue bool) {
 	c.frameBuf = h2.AppendFrame(c.frameBuf[:0], &c.hdrFrame)
 	reqStart, reqEnd := c.writeRecord(c.frameBuf)
 	c.Stats.Requests++
+	c.Obs.Inc(obs.CH2Request)
+	c.Obs.Event(c.s.Now(), obs.EvH2Request, int64(id), int64(objectID))
 	c.Requests = append(c.Requests, RequestLog{
 		Time: c.s.Now(), ObjectID: objectID, CopyID: copyID, StreamID: id, ReIssue: reissue,
 	})
@@ -501,6 +510,7 @@ func (c *Client) OnTCPRetransmit(seqStart, seqEnd uint32) {
 		st.reRequested = true
 		os.reRequests++
 		c.Stats.ReRequests++
+		c.Obs.Inc(obs.CH2ReRequest)
 		c.issue(st.objectID, true)
 	}
 }
@@ -582,6 +592,7 @@ func (c *Client) handlePushPromise(f *h2.PushPromiseFrame) {
 		return
 	}
 	os.pushed = true
+	c.Obs.Inc(obs.CH2PushPromise)
 	st := c.getStream()
 	st.id, st.objectID, st.copyID = f.PromiseID, obj.ID, c.nextCopy(obj.ID)
 	st.stall.Reset(c.stallTimeout())
@@ -607,6 +618,8 @@ func (c *Client) finishStream(st *clientStream) {
 			c.scheduledLeft--
 		}
 		c.Stats.Completed++
+		c.Obs.Inc(obs.CH2ObjComplete)
+		c.Obs.Event(c.s.Now(), obs.EvH2ObjComplete, int64(objectID), int64(received))
 		c.dryStalls = 0 // completions are the liveness signal
 		if c.refetchOut > 0 {
 			c.refetchOut--
@@ -664,6 +677,8 @@ func (c *Client) onStall(st *clientStream) {
 	if os == nil || os.complete {
 		return
 	}
+	c.Obs.Inc(obs.CH2Stall)
+	c.Obs.Event(c.s.Now(), obs.EvH2Stall, int64(c.open), 0)
 	// A lossy channel shows up as a burst of stalls with nothing
 	// completing; isolated stalls on a merely slow page do not count.
 	if c.s.Now()-c.lastStall > 2500*time.Millisecond {
@@ -678,6 +693,7 @@ func (c *Client) onStall(st *clientStream) {
 	if !c.cfg.DisableReRequest && os.reRequests < c.cfg.MaxReRequests {
 		os.reRequests++
 		c.Stats.ReRequests++
+		c.Obs.Inc(obs.CH2ReRequest)
 		c.issue(st.objectID, true)
 		st.stall.Reset(2 * c.stallTimeout())
 		return
@@ -696,16 +712,20 @@ func (c *Client) onStall(st *clientStream) {
 func (c *Client) resetAll() {
 	c.Stats.Resets++
 	frames := c.frameBuf[:0]
+	reset := 0
 	for _, st := range c.streamsByID() {
-		frames = h2.AppendFrame(frames, &h2.RSTStreamFrame{
-			StreamID: st.id, Code: h2.ErrCodeCancel,
-		})
+		c.rstFrame = h2.RSTStreamFrame{StreamID: st.id, Code: h2.ErrCodeCancel}
+		frames = h2.AppendFrame(frames, &c.rstFrame)
 		c.closeStream(st)
+		reset++
 	}
 	if len(frames) > 0 {
 		c.writeRecord(frames)
 	}
 	c.frameBuf = frames
+	c.Obs.Inc(obs.CH2ResetRound)
+	c.Obs.Add(obs.CH2StreamReset, uint64(reset))
+	c.Obs.Event(c.s.Now(), obs.EvH2ResetRound, int64(reset), int64(c.Stats.Resets))
 	// The client's TCP stack raises its retransmission timeout in
 	// response to the lossy channel (paper: "The client's TCP also
 	// waits for a longer time before attempting to send
@@ -761,6 +781,8 @@ func (c *Client) pumpRefetch() {
 		os.reRequests = 0
 		os.exhaustedStalls = 0
 		c.refetchOut++
+		c.Obs.Inc(obs.CH2Refetch)
+		c.Obs.Event(c.s.Now(), obs.EvH2Refetch, int64(id), 0)
 		c.issue(id, true)
 	}
 }

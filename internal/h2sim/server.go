@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/h2"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
 	"repro/internal/tlsrec"
@@ -153,6 +154,10 @@ type Server struct {
 
 	// Stats accumulates counters.
 	Stats ServerStats
+
+	// Obs receives metric increments and flight events; the zero Sink
+	// discards them.
+	Obs obs.Sink
 }
 
 // NewServer builds the server for a site. Call Attach before running.
@@ -215,6 +220,7 @@ func (sv *Server) Reset(cfg ServerConfig, site *website.Site) {
 		sv.zeroBody = sv.zeroBody[:sv.cfg.ChunkPlain]
 	}
 	sv.Stats = ServerStats{}
+	sv.Obs = obs.Sink{}
 }
 
 // worker looks up the worker serving a stream; nil if none.
@@ -312,6 +318,7 @@ func (sv *Server) handleFrame(f h2.Frame) {
 		sv.handleRequest(fv)
 	case *h2.RSTStreamFrame:
 		sv.Stats.Resets++
+		sv.Obs.Inc(obs.CH2SrvRSTRecv)
 		if w := sv.worker(fv.StreamID); w != nil {
 			// Flush the stream: the worker stops enqueueing segments
 			// (paper section IV-D: "the server closes the stream and
@@ -356,6 +363,8 @@ func (sv *Server) handleRequest(f *h2.HeadersFrame) {
 	copyID := sv.nextCopy(obj.ID)
 	if copyID > 0 {
 		sv.Stats.Duplicates++
+		sv.Obs.Inc(obs.CH2SrvDupCopy)
+		sv.Obs.Event(sv.s.Now(), obs.EvH2SrvDupCopy, int64(obj.ID), int64(copyID))
 		if sv.cfg.DisableDuplicates {
 			// Ablation: a deduplicating server answers duplicates with
 			// an empty 200 instead of re-serving the body.
@@ -365,6 +374,7 @@ func (sv *Server) handleRequest(f *h2.HeadersFrame) {
 	}
 	w := sv.getWorker(f.StreamID, obj, copyID)
 	sv.putWorker(f.StreamID, w)
+	sv.Obs.Inc(obs.CH2SrvWorker)
 	sv.s.After(sv.cfg.HeaderDelay, w.sendFn)
 	sv.pushFor(obj.Path, f.StreamID)
 }
@@ -398,6 +408,8 @@ func (sv *Server) pushFor(path string, parentStream uint32) {
 		sv.writeRecord(tlsrec.TypeAppData, sv.frameBuf)
 		w := sv.getWorker(promiseID, obj, sv.nextCopy(obj.ID))
 		sv.putWorker(promiseID, w)
+		sv.Obs.Inc(obs.CH2SrvPush)
+		sv.Obs.Inc(obs.CH2SrvWorker)
 		sv.s.After(sv.cfg.HeaderDelay, w.sendFn)
 	}
 }

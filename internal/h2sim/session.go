@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
 	"repro/internal/trace"
@@ -39,6 +40,12 @@ type SessionConfig struct {
 	// variation across the paper's ~500 volunteer sessions. Only
 	// applies when Path is left at the default.
 	RandomizeAmbient bool
+
+	// Obs, when enabled, receives metric increments and flight events
+	// from every layer of the session (links, TCP endpoints, HTTP/2
+	// client and server). The zero Sink discards everything at the cost
+	// of one branch per site.
+	Obs obs.Sink
 }
 
 // DefaultPath models the paper's setup: a short first hop from the
@@ -151,6 +158,11 @@ func (sess *Session) Reset(site *website.Site, cfg SessionConfig) {
 	sess.Client.Reset(cfg.Client, site)
 	sess.Server.GroundTruth = sess.GroundTruth
 	sess.Conn.Reset(cfg.Path, cfg.TCP)
+	// Fan the metric sink out to every layer before Attach, so even the
+	// SETTINGS exchange is counted (each layer's Reset cleared its copy).
+	sess.Conn.SetObs(cfg.Obs)
+	sess.Client.Obs = cfg.Obs
+	sess.Server.Obs = cfg.Obs
 	sess.Conn.Path.Mbox.Capture = sess.Capture
 	sess.Client.Attach(sess.Conn.Client)
 	sess.Server.Attach(sess.Conn.Server)

@@ -33,6 +33,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -167,6 +168,10 @@ type Link struct {
 
 	// Stats accumulates per-link counters.
 	Stats LinkStats
+
+	// Obs receives metric increments and flight events; the zero Sink
+	// discards them.
+	Obs obs.Sink
 }
 
 // NewLink returns a link delivering packets to dst.
@@ -190,6 +195,7 @@ func (l *Link) Reset(cfg LinkConfig) {
 	l.nextFree = 0
 	l.lastArrival = 0
 	l.Stats = LinkStats{}
+	l.Obs = obs.Sink{}
 }
 
 // SetRate changes the serialization rate (bits per second; zero means
@@ -222,6 +228,8 @@ func (l *Link) Send(p *Packet) {
 	now := l.sim.Now()
 	if l.cfg.Loss > 0 && l.sim.Rand().Float64() < l.cfg.Loss {
 		l.Stats.DroppedLoss++
+		l.Obs.Inc(obs.CNetemDropLoss)
+		l.Obs.Event(now, obs.EvNetemDrop, 0, int64(len(p.Payload)))
 		l.pool.Put(p)
 		return
 	}
@@ -231,14 +239,19 @@ func (l *Link) Send(p *Packet) {
 	}
 	if start-now > l.cfg.MaxQueueDelay {
 		l.Stats.DroppedQueue++
+		l.Obs.Inc(obs.CNetemDropQueue)
+		l.Obs.Event(now, obs.EvNetemDrop, 1, int64(len(p.Payload)))
 		l.pool.Put(p)
 		return
 	}
+	l.Obs.ObserveDuration(obs.HNetemQueueWait, start-now)
 	tx := l.txTime(p.WireLen())
 	l.nextFree = start + tx
 	delay := l.nextFree - now + l.cfg.PropDelay
 	if l.cfg.Jitter != nil {
-		delay += l.cfg.Jitter(l.sim.Rand())
+		j := l.cfg.Jitter(l.sim.Rand())
+		l.Obs.ObserveDuration(obs.HNetemJitter, j)
+		delay += j
 	}
 	arrival := now + delay
 	if !l.cfg.AllowReorder && arrival < l.lastArrival {
@@ -248,6 +261,7 @@ func (l *Link) Send(p *Packet) {
 	l.lastArrival = arrival
 	l.Stats.Sent++
 	l.Stats.Bytes += int64(p.WireLen())
+	l.Obs.Inc(obs.CNetemLinkSend)
 	l.sim.AfterArg(delay, l.deliverFn, p)
 }
 
@@ -595,6 +609,16 @@ func (p *Path) ReclaimPending(s *sim.Simulator) {
 			p.Pool.Put(pkt)
 		}
 	})
+}
+
+// SetObs points all four links' metric sinks at k. Call after Reset
+// (which clears them), the same re-wiring pattern the session uses
+// for its other cross-layer hooks.
+func (p *Path) SetObs(k obs.Sink) {
+	p.LinkC2M.Obs = k
+	p.LinkM2S.Obs = k
+	p.LinkS2M.Obs = k
+	p.LinkM2C.Obs = k
 }
 
 // SendFromClient injects a client packet into the path.

@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry is the merge point of one sweep's metrics: it hands out
+// per-worker Shards (NewShard is safe to call from worker goroutines)
+// and merges them into a Snapshot at sweep end. Segment labels, when
+// set, give each configuration of a sweep its own aggregate (the
+// jitter values of Table I, the drop rates of §IV-D, …), so the
+// summary can show how a counter moves across the sweep axis.
+//
+// The registry also accumulates the only wall-clock metrics in the
+// stack — per-trial latency samples fed by the runner — under its own
+// lock, kept strictly apart from the deterministic sim-domain cells.
+type Registry struct {
+	mu     sync.Mutex
+	labels []string
+	shards []*Shard
+
+	wallHist  Hist
+	wallCount uint64
+	start     time.Time
+}
+
+// NewRegistry returns an empty single-segment registry.
+func NewRegistry() *Registry {
+	return &Registry{labels: []string{"all"}, start: time.Now()}
+}
+
+// SetSegments declares the sweep's configuration axis: one label per
+// segment, in sweep order. Must be called before any NewShard;
+// calling it later panics, because existing shards were sized for the
+// old segment count.
+func (r *Registry) SetSegments(labels ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.shards) > 0 {
+		panic("obs: SetSegments after NewShard")
+	}
+	if len(labels) == 0 {
+		labels = []string{"all"}
+	}
+	r.labels = append([]string(nil), labels...)
+}
+
+// NewShard allocates one worker's shard, registered for the final
+// merge. Safe for concurrent use (runner workers build their state
+// concurrently).
+func (r *Registry) NewShard() *Shard {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Shard{segs: make([]block, len(r.labels))}
+	r.shards = append(r.shards, s)
+	return s
+}
+
+// ObserveTrialWall folds one trial's wall-clock latency into the wall
+// section. Safe for concurrent use.
+func (r *Registry) ObserveTrialWall(d time.Duration) {
+	r.mu.Lock()
+	r.wallHist.Observe(int64(d))
+	r.wallCount++
+	r.mu.Unlock()
+}
+
+// Snapshot merges every shard into one aggregate. Because all cells
+// are integers and merging is addition, the sim-domain sections are
+// identical for any partition of the same trials across shards — the
+// worker-count determinism guarantee.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := &Snapshot{Elapsed: time.Since(r.start)}
+	for i, label := range r.labels {
+		seg := SegmentSnapshot{Label: label}
+		var merged block
+		for _, s := range r.shards {
+			if i < len(s.segs) {
+				merged.merge(&s.segs[i])
+			}
+		}
+		for c := Counter(0); c < counterCount; c++ {
+			if v := merged.counters[c]; v != 0 {
+				seg.Counters = append(seg.Counters, CounterValue{Name: c.String(), Value: v})
+			}
+		}
+		for h := HistID(0); h < histCount; h++ {
+			hv := merged.hists[h]
+			if hv.Count != 0 {
+				seg.Hists = append(seg.Hists, HistValue{Name: h.String(), Hist: hv})
+			}
+		}
+		snap.Segments = append(snap.Segments, seg)
+	}
+	if r.wallCount > 0 {
+		snap.Wall = &WallSnapshot{Trials: r.wallCount, Hist: r.wallHist}
+	}
+	return snap
+}
+
+// CounterValue is one named counter total in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// HistValue is one named histogram in a snapshot.
+type HistValue struct {
+	Name string `json:"name"`
+	Hist Hist   `json:"-"`
+}
+
+// MarshalJSON exports the histogram as summary statistics plus its
+// non-empty buckets (bucket i covers [2^(i-1), 2^i), bucket 0 is
+// exactly zero).
+func (h HistValue) MarshalJSON() ([]byte, error) {
+	type bucket struct {
+		UpperBound uint64 `json:"le"`
+		Count      uint64 `json:"count"`
+	}
+	var bs []bucket
+	for i, c := range h.Hist.Buckets {
+		if c != 0 {
+			bs = append(bs, bucket{UpperBound: 1<<uint(i) - 1, Count: c})
+		}
+	}
+	return json.Marshal(struct {
+		Name    string   `json:"name"`
+		Count   uint64   `json:"count"`
+		Sum     uint64   `json:"sum"`
+		P50     uint64   `json:"p50_le"`
+		P99     uint64   `json:"p99_le"`
+		Buckets []bucket `json:"buckets,omitempty"`
+	}{h.Name, h.Hist.Count, h.Hist.Sum, h.Hist.Quantile(0.50), h.Hist.Quantile(0.99), bs})
+}
+
+// SegmentSnapshot is the merged cells of one sweep configuration.
+// Only non-zero metrics appear, in schema declaration order.
+type SegmentSnapshot struct {
+	Label    string         `json:"label"`
+	Counters []CounterValue `json:"counters,omitempty"`
+	Hists    []HistValue    `json:"histograms,omitempty"`
+}
+
+// Counter returns a segment counter's total by export name (0 when
+// absent).
+func (s *SegmentSnapshot) Counter(name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// WallSnapshot is the non-deterministic wall-clock section.
+type WallSnapshot struct {
+	Trials uint64 `json:"trials"`
+	Hist   Hist   `json:"-"`
+}
+
+// MarshalJSON exports the wall section's summary statistics.
+func (w *WallSnapshot) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Trials     uint64 `json:"trials"`
+		SumNanos   uint64 `json:"sum_ns"`
+		MeanNanos  uint64 `json:"mean_ns"`
+		P50LENanos uint64 `json:"p50_le_ns"`
+		P99LENanos uint64 `json:"p99_le_ns"`
+	}{w.Trials, w.Hist.Sum, uint64(w.Hist.Mean()), w.Hist.Quantile(0.50), w.Hist.Quantile(0.99)})
+}
+
+// Snapshot is a merged view of one registry, produced by
+// Registry.Snapshot. Segments are deterministic (sim-domain integer
+// sums); Wall and Elapsed are wall-clock and excluded from
+// DeterministicText.
+type Snapshot struct {
+	Segments []SegmentSnapshot `json:"segments"`
+	Wall     *WallSnapshot     `json:"wall,omitempty"`
+	Elapsed  time.Duration     `json:"elapsed_ns,omitempty"`
+}
+
+// Segment returns the snapshot segment with the given label, or nil.
+func (s *Snapshot) Segment(label string) *SegmentSnapshot {
+	for i := range s.Segments {
+		if s.Segments[i].Label == label {
+			return &s.Segments[i]
+		}
+	}
+	return nil
+}
+
+// DeterministicText renders only the sim-domain sections: identical
+// strings for identical trial sets at any worker count. This is the
+// artifact the determinism tests compare.
+func (s *Snapshot) DeterministicText() string {
+	var b strings.Builder
+	s.writeSegments(&b)
+	return b.String()
+}
+
+// Text renders the full summary: the deterministic segments plus the
+// wall-clock section (per-trial latency and trials/s).
+func (s *Snapshot) Text() string {
+	var b strings.Builder
+	s.writeSegments(&b)
+	if s.Wall != nil {
+		fmt.Fprintf(&b, "wall clock:\n")
+		fmt.Fprintf(&b, "  %-28s %d\n", "trials", s.Wall.Trials)
+		fmt.Fprintf(&b, "  %-28s mean=%s p50<=%s p99<=%s\n", "trial latency",
+			time.Duration(s.Wall.Hist.Mean()).Round(time.Microsecond),
+			time.Duration(s.Wall.Hist.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(s.Wall.Hist.Quantile(0.99)).Round(time.Microsecond))
+		if s.Elapsed > 0 {
+			fmt.Fprintf(&b, "  %-28s %.0f\n", "trials/s",
+				float64(s.Wall.Trials)/s.Elapsed.Seconds())
+		}
+	}
+	return b.String()
+}
+
+// writeSegments renders each segment's non-zero counters and
+// histogram summaries.
+func (s *Snapshot) writeSegments(b *strings.Builder) {
+	for i := range s.Segments {
+		seg := &s.Segments[i]
+		fmt.Fprintf(b, "segment %s:\n", seg.Label)
+		for _, c := range seg.Counters {
+			fmt.Fprintf(b, "  %-28s %d\n", c.Name, c.Value)
+		}
+		for _, h := range seg.Hists {
+			fmt.Fprintf(b, "  %-28s count=%d mean=%.0f p50<=%d p99<=%d\n",
+				h.Name, h.Hist.Count, h.Hist.Mean(), h.Hist.Quantile(0.50), h.Hist.Quantile(0.99))
+		}
+	}
+}
+
+// MarshalSweeps serializes a map of sweep name → snapshot as stable,
+// sorted JSON — the -metrics-json export, shaped like the BENCH_*.json
+// flow (one object per sweep under a top-level key).
+func MarshalSweeps(sweeps map[string]*Snapshot) ([]byte, error) {
+	names := make([]string, 0, len(sweeps))
+	for n := range sweeps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	type entry struct {
+		Sweep string `json:"sweep"`
+		*Snapshot
+	}
+	out := struct {
+		Sweeps []entry `json:"sweeps"`
+	}{}
+	for _, n := range names {
+		out.Sweeps = append(out.Sweeps, entry{Sweep: n, Snapshot: sweeps[n]})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

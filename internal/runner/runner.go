@@ -56,6 +56,16 @@ type Options struct {
 	// completion with a consistent snapshot. It runs on a worker
 	// goroutine under the runner's lock; keep it cheap.
 	OnProgress func(Progress)
+
+	// OnTrialDone, when non-nil, is invoked after every trial with its
+	// index and wall-clock duration (the trial function alone, lock
+	// wait excluded). Like OnProgress it runs serialized under the
+	// runner's lock; keep it cheap. Trial timing is only measured when
+	// this is set, so the default path pays nothing. Wall-clock
+	// durations are inherently non-deterministic — consumers (e.g. the
+	// metrics registry's wall section) must keep them out of any
+	// deterministic aggregate.
+	OnTrialDone func(index int, elapsed time.Duration)
 }
 
 // TrialError reports a trial that panicked.
@@ -113,7 +123,7 @@ func RunWith[S, T any](n int, opts Options, newState func() S, fn func(state S, 
 	}
 
 	results := make([]T, n)
-	st := &state{total: n, start: time.Now(), onProgress: opts.OnProgress}
+	st := &state{total: n, start: time.Now(), onProgress: opts.OnProgress, onTrialDone: opts.OnTrialDone}
 
 	if workers == 1 {
 		ws := newState()
@@ -152,24 +162,36 @@ func RunWith[S, T any](n int, opts Options, newState func() S, fn func(state S, 
 
 // state is the mutable bookkeeping shared by the workers of one Run.
 type state struct {
-	mu         sync.Mutex
-	next       int
-	completed  int
-	failures   []*TrialError
-	total      int
-	start      time.Time
-	onProgress func(Progress)
+	mu          sync.Mutex
+	next        int
+	completed   int
+	failures    []*TrialError
+	total       int
+	start       time.Time
+	onProgress  func(Progress)
+	onTrialDone func(int, time.Duration)
 }
 
 // runOne executes a single trial with panic capture and updates the
 // shared progress under the lock.
 func runOne[S, T any](i int, results []T, st *state, ws S, fn func(S, int) T) {
-	failure := protect(i, &results[i], ws, fn)
+	var elapsed time.Duration
+	var failure *TrialError
+	if st.onTrialDone != nil {
+		started := time.Now()
+		failure = protect(i, &results[i], ws, fn)
+		elapsed = time.Since(started)
+	} else {
+		failure = protect(i, &results[i], ws, fn)
+	}
 
 	st.mu.Lock()
 	st.completed++
 	if failure != nil {
 		st.failures = append(st.failures, failure)
+	}
+	if st.onTrialDone != nil {
+		st.onTrialDone(i, elapsed)
 	}
 	if st.onProgress != nil {
 		p := Progress{

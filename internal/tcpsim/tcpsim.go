@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -166,6 +167,10 @@ type Endpoint struct {
 	// Stats accumulates counters.
 	Stats Stats
 
+	// Obs receives metric increments and flight events; the zero Sink
+	// discards them.
+	Obs obs.Sink
+
 	pktID uint64
 }
 
@@ -225,6 +230,7 @@ func (e *Endpoint) Reset(cfg Config) {
 	e.OnBreak = nil
 	e.OnRetransmit = nil
 	e.Stats = Stats{}
+	e.Obs = obs.Sink{}
 	e.pktID = 0
 }
 
@@ -309,8 +315,10 @@ func (e *Endpoint) emit(seq uint32, payload []byte, retransmit bool) {
 	if len(payload) > 0 {
 		e.Stats.SegmentsSent++
 		e.Stats.BytesSent += int64(len(payload))
+		e.Obs.Inc(obs.CTCPSegSent)
 		if retransmit {
 			e.Stats.Retransmits++
+			e.Obs.Inc(obs.CTCPRetransmit)
 		}
 	} else {
 		e.Stats.AcksSent++
@@ -351,6 +359,8 @@ func (e *Endpoint) onRTO() {
 		return
 	}
 	e.Stats.TimeoutRetransmits++
+	e.Obs.Inc(obs.CTCPTimeoutRetx)
+	e.Obs.Event(e.s.Now(), obs.EvTCPTimeoutRetx, int64(e.sndUna), int64(e.retries))
 	flight := float64(e.Outstanding())
 	e.ssthresh = maxf(flight/2, float64(2*e.cfg.MSS))
 	e.cwnd = float64(e.cfg.MSS)
@@ -369,6 +379,8 @@ func (e *Endpoint) breakConn() {
 	}
 	e.broken = true
 	e.rtoTimer.Stop()
+	e.Obs.Inc(obs.CTCPBroken)
+	e.Obs.Event(e.s.Now(), obs.EvTCPBroken, int64(e.sndUna), 0)
 	if e.OnBreak != nil {
 		e.OnBreak(ErrConnectionBroken)
 	}
@@ -432,6 +444,7 @@ func (e *Endpoint) handleAck(ack uint32, pureAck bool) {
 		} else {
 			e.cwnd += float64(e.cfg.MSS) * float64(e.cfg.MSS) / e.cwnd // AIMD
 		}
+		e.Obs.Observe(obs.HTCPCwnd, int64(e.cwnd))
 		if e.Outstanding() == 0 {
 			e.rtoTimer.Stop()
 			e.rto = e.clampRTO(e.computeRTO())
@@ -444,12 +457,15 @@ func (e *Endpoint) handleAck(ack uint32, pureAck bool) {
 	if pureAck && ack == e.sndUna && e.Outstanding() > 0 {
 		e.dupAcks++
 		e.Stats.DupAcksRecvd++
+		e.Obs.Inc(obs.CTCPDupAckRecvd)
 		if e.dupAcks == e.cfg.DupAckThreshold {
 			// Fast retransmit + fast recovery entry.
 			e.Stats.FastRetransmits++
 			flight := float64(e.Outstanding())
 			e.ssthresh = maxf(flight/2, float64(2*e.cfg.MSS))
 			e.cwnd = e.ssthresh + float64(e.cfg.DupAckThreshold*e.cfg.MSS)
+			e.Obs.Inc(obs.CTCPFastRetx)
+			e.Obs.Event(e.s.Now(), obs.EvTCPFastRetx, int64(e.sndUna), int64(e.cwnd))
 			e.retransmitHead()
 			e.rtoTimer.Reset(e.rto)
 		}
@@ -666,6 +682,14 @@ func (c *Conn) Reset(pathCfg netem.PathConfig, tcpCfg Config) {
 	c.Path.Reset(pathCfg)
 	c.Client.Reset(tcpCfg)
 	c.Server.Reset(tcpCfg)
+}
+
+// SetObs points both endpoints' and the path's metric sinks at k.
+// Call after Reset (which clears them).
+func (c *Conn) SetObs(k obs.Sink) {
+	c.Client.Obs = k
+	c.Server.Obs = k
+	c.Path.SetObs(k)
 }
 
 // Broken reports whether either side has declared the connection

@@ -46,3 +46,71 @@ func TestTraceAccumulators(t *testing.T) {
 		t.Error("RetransmitCount wrong")
 	}
 }
+
+func TestTraceCountsEmpty(t *testing.T) {
+	tr := &Trace{}
+	for _, dir := range []Direction{ClientToServer, ServerToClient} {
+		if tr.AppDataCount(dir) != 0 {
+			t.Errorf("AppDataCount(%v) on empty trace = %d", dir, tr.AppDataCount(dir))
+		}
+		if tr.RetransmitCount(dir) != 0 {
+			t.Errorf("RetransmitCount(%v) on empty trace = %d", dir, tr.RetransmitCount(dir))
+		}
+	}
+}
+
+// TestTraceCountsFilterDirection pins the direction filter: records
+// and packets of the opposite direction, and non-app-data records,
+// must not leak into a direction's counts.
+func TestTraceCountsFilterDirection(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 3; i++ {
+		tr.AddRecord(RecordObs{Dir: ClientToServer, ContentType: 23})
+		tr.AddRecord(RecordObs{Dir: ClientToServer, ContentType: 22}) // handshake: not app data
+		tr.AddPacket(PacketObs{Dir: ServerToClient, Retransmit: true})
+		tr.AddPacket(PacketObs{Dir: ServerToClient}) // original transmission
+	}
+	if got := tr.AppDataCount(ClientToServer); got != 3 {
+		t.Errorf("AppDataCount(c->s) = %d, want 3", got)
+	}
+	if got := tr.AppDataCount(ServerToClient); got != 0 {
+		t.Errorf("AppDataCount(s->c) = %d, want 0", got)
+	}
+	if got := tr.RetransmitCount(ServerToClient); got != 3 {
+		t.Errorf("RetransmitCount(s->c) = %d, want 3", got)
+	}
+	if got := tr.RetransmitCount(ClientToServer); got != 0 {
+		t.Errorf("RetransmitCount(c->s) = %d, want 0", got)
+	}
+}
+
+// TestTraceResetKeepsCapacity pins the reuse contract: Reset empties
+// the three streams but keeps their backing arrays, so a reused trace
+// records allocation-free at its high-water mark.
+func TestTraceResetKeepsCapacity(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 100; i++ {
+		tr.AddPacket(PacketObs{Dir: ClientToServer})
+		tr.AddRecord(RecordObs{Dir: ClientToServer, ContentType: 23})
+		tr.AddFrame(FrameEvent{ObjectID: i})
+	}
+	cp, cr, cf := cap(tr.Packets), cap(tr.Records), cap(tr.Frames)
+	tr.Reset()
+	if len(tr.Packets) != 0 || len(tr.Records) != 0 || len(tr.Frames) != 0 {
+		t.Fatal("Reset must empty all three streams")
+	}
+	if cap(tr.Packets) != cp || cap(tr.Records) != cr || cap(tr.Frames) != cf {
+		t.Error("Reset must keep the backing arrays")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		tr.Reset()
+		for i := 0; i < 100; i++ {
+			tr.AddPacket(PacketObs{Dir: ClientToServer})
+			tr.AddRecord(RecordObs{Dir: ClientToServer, ContentType: 23})
+			tr.AddFrame(FrameEvent{ObjectID: i})
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("reused trace allocates %.0f objects/run at its high-water mark, want 0", allocs)
+	}
+}
