@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain go tooling underneath.
 
-.PHONY: ci test bench bench-compare bench-profile check-golden experiments profile
+.PHONY: ci test bench bench-compare bench-profile check-golden experiments profile survey-smoke
 
 # The CI gate: vet + build + race-enabled tests (scripts/ci.sh).
 ci:
@@ -43,6 +43,20 @@ check-golden:
 	go run ./cmd/h2attack -all -trials 100 -seed 1 > $$tmp && \
 	diff -u experiments_output.txt $$tmp && \
 	rm -f $$tmp && echo "golden OK"
+
+# Pipeline smoke: a small survey campaign through the JSONL exporter
+# with a mid-campaign stop and a checkpointed resume, verifying the
+# resumed output is byte-identical to an uninterrupted run. Mirrors
+# the CI pipeline-smoke step; campaign scratch lives in campaigns/
+# (gitignored).
+survey-smoke:
+	@rm -rf campaigns/smoke && mkdir -p campaigns/smoke
+	go run ./cmd/h2attack -survey -corpus 40 -export jsonl=campaigns/smoke/ref.jsonl > /dev/null
+	go run ./cmd/h2attack -survey -corpus 40 -export summary,jsonl=campaigns/smoke/out.jsonl \
+		-checkpoint campaigns/smoke/ck.json -checkpoint-every 7 -max-trials 17 > /dev/null
+	go run ./cmd/h2attack -survey -corpus 40 -export summary,jsonl=campaigns/smoke/out.jsonl \
+		-checkpoint campaigns/smoke/ck.json -checkpoint-every 7
+	cmp campaigns/smoke/ref.jsonl campaigns/smoke/out.jsonl && echo "survey-smoke OK"
 
 # Regenerate the reference run recorded in experiments_output.txt
 # (deterministic: identical at any -j; see EXPERIMENTS.md). Written to

@@ -8,9 +8,21 @@
 //	h2attack -drops             # Section IV-D (targeted drops)
 //	h2attack -table2            # Table II (full attack accuracy)
 //	h2attack -delay             # Section IV-A control (uniform delay)
+//	h2attack -defenses          # Section VII defence evaluation
 //	h2attack -all               # everything
 //	h2attack -trial -seed 42    # one verbose full-attack trial
-//	h2attack -events seed=42    # flight-recorder dump of one trial
+//	h2attack -events 42         # flight-recorder dump of one trial
+//	                            # (seed=42 also accepted)
+//
+// Survey campaigns run the attack against a synthetic site corpus
+// through the streaming pipeline, with checkpointed resume:
+//
+//	h2attack -survey -corpus 1000 -export summary,jsonl=out.jsonl \
+//	         -checkpoint ck.json -progress
+//
+// Interrupt a campaign with ^C (or bound it with -max-trials); rerun
+// the same command to resume from the checkpoint — the final exporter
+// output is byte-identical to an uninterrupted run.
 //
 // Use -trials and -seed to control the sweep size and reproducibility.
 // Sweeps fan their trials across -j worker goroutines (default: all
@@ -56,7 +68,7 @@ func run() int {
 		all        = flag.Bool("all", false, "run every experiment")
 		trial      = flag.Bool("trial", false, "run one verbose full-attack trial")
 		metrics    = flag.Bool("metrics", false, "print a cross-layer metrics summary after each sweep")
-		metricsOut = flag.String("metrics-json", "", "write each sweep's metrics snapshot as JSON to this file")
+		metricsOut = flag.String("metrics-json", "", "write every sweep's metrics snapshot into this one JSON file")
 		events     = flag.String("events", "", "dump one full-attack trial's flight-recorder events (value: seed=N or N)")
 		trials     = flag.Int("trials", 100, "page loads per configuration")
 		seed       = flag.Int64("seed", 1, "base seed (trial i uses seed+i)")
@@ -64,6 +76,14 @@ func run() int {
 		progress   = flag.Bool("progress", false, "report sweep completion and ETA on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+
+		survey     = flag.Bool("survey", false, "run a survey campaign against a synthetic site corpus")
+		corpus     = flag.Int("corpus", 1000, "survey: number of synthetic sites")
+		siteTrials = flag.Int("site-trials", 1, "survey: attack repetitions per site")
+		export     = flag.String("export", "summary", "survey: comma-separated exporters (summary, jsonl=FILE, obs=FILE)")
+		checkpoint = flag.String("checkpoint", "", "survey: checkpoint file for resumable campaigns")
+		ckptEvery  = flag.Int("checkpoint-every", 1000, "survey: trials between checkpoint writes")
+		maxTrials  = flag.Int("max-trials", 0, "survey: stop (checkpointing) after this many trials this run; 0 = no limit")
 	)
 	flag.Parse()
 
@@ -175,6 +195,25 @@ func run() int {
 		runSweep("defenses", func(opts []experiment.Option) string {
 			return experiment.FormatDefenses(experiment.Defenses(*trials, *seed, opts...))
 		})
+	}
+	if *survey {
+		err := runSurvey(surveyFlags{
+			corpus:          *corpus,
+			siteTrials:      *siteTrials,
+			seed:            *seed,
+			jobs:            *jobs,
+			progress:        *progress,
+			metrics:         *metrics,
+			export:          *export,
+			checkpoint:      *checkpoint,
+			checkpointEvery: *ckptEvery,
+			maxTrials:       *maxTrials,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "h2attack: -survey: %v\n", err)
+			return 1
+		}
+		ran = true
 	}
 	if *trial {
 		runOneTrial(*seed)

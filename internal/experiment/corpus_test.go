@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/website"
+)
+
+func testSurveyConfig(sites int) SurveyConfig {
+	return SurveyConfig{
+		Corpus: website.CorpusConfig{
+			Seed:       11,
+			Sites:      sites,
+			MinObjects: 8,
+			MaxObjects: 24, // keep test trials quick
+		},
+		SiteTrials: 1,
+		Seed:       1,
+	}
+}
+
+func runSurveyJSONL(t *testing.T, cfg SurveyConfig, pcfg pipeline.Config, path string) (pipeline.Summary, []byte) {
+	t.Helper()
+	s := NewSurvey(cfg)
+	sum, err := s.Run(pcfg, SurveyJSONL(path))
+	if err != nil {
+		t.Fatalf("survey run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum, data
+}
+
+func TestSurveyIdenticalAcrossWorkerCounts(t *testing.T) {
+	cfg := testSurveyConfig(12)
+	dir := t.TempDir()
+	_, a := runSurveyJSONL(t, cfg, pipeline.Config{Workers: 1}, filepath.Join(dir, "j1.jsonl"))
+	_, b := runSurveyJSONL(t, cfg, pipeline.Config{Workers: 8}, filepath.Join(dir, "j8.jsonl"))
+	if !bytes.Equal(a, b) {
+		t.Fatal("survey JSONL differs between -j 1 and -j 8")
+	}
+	if len(a) == 0 {
+		t.Fatal("survey produced no output")
+	}
+}
+
+func TestSurveyResumeByteIdentical(t *testing.T) {
+	cfg := testSurveyConfig(17)
+	refDir := t.TempDir()
+	_, want := runSurveyJSONL(t, cfg, pipeline.Config{Workers: 4}, filepath.Join(refDir, "ref.jsonl"))
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.jsonl")
+	ckpt := filepath.Join(dir, "ck.json")
+
+	// Kill after 9 trials with checkpoints every 4: the last
+	// checkpoint is the stop point itself (graceful), but the summary
+	// counters must survive the restart too.
+	killed := NewSurvey(cfg)
+	killedSummary := NewSurveySummary()
+	sum, err := killed.Run(pipeline.Config{
+		Workers: 4, Checkpoint: ckpt, CheckpointEvery: 4, MaxTrials: 9,
+	}, SurveyJSONL(path), killedSummary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Done || sum.Exported != 9 {
+		t.Fatalf("interrupted survey: %+v", sum)
+	}
+
+	resumed := NewSurvey(cfg)
+	resumedSummary := NewSurveySummary()
+	sum, err = resumed.Run(pipeline.Config{
+		Workers: 4, Checkpoint: ckpt, CheckpointEvery: 4,
+	}, SurveyJSONL(path), resumedSummary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Done || sum.Start != 9 || sum.Exported != 17 {
+		t.Fatalf("resumed survey: %+v", sum)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed survey JSONL differs from uninterrupted run")
+	}
+
+	// The resumed summary must cover the whole campaign.
+	uninterrupted := NewSurvey(cfg)
+	fullSummary := NewSurveySummary()
+	if _, err := uninterrupted.Run(pipeline.Config{Workers: 4}, fullSummary); err != nil {
+		t.Fatal(err)
+	}
+	if resumedSummary.Format() != fullSummary.Format() {
+		t.Fatalf("resumed summary differs:\n%s\nvs uninterrupted:\n%s",
+			resumedSummary.Format(), fullSummary.Format())
+	}
+	trials, _ := resumedSummary.Total()
+	if trials != 17 {
+		t.Fatalf("resumed summary counted %d trials, want 17", trials)
+	}
+}
+
+func TestSurveyAttackWorksOnCorpusSites(t *testing.T) {
+	cfg := testSurveyConfig(10)
+	s := NewSurvey(cfg)
+	collect := pipeline.NewCollector[CorpusTrialParams, SurveyResult](s.Trials())
+	if _, err := s.Run(pipeline.Config{Workers: 4}, collect); err != nil {
+		t.Fatal(err)
+	}
+	identified, complete := 0, 0
+	for _, r := range collect.Results() {
+		if r.TargetIdentified {
+			identified++
+		}
+		if r.PageComplete {
+			complete++
+		}
+		if r.Objects == 0 || r.TargetID == 0 {
+			t.Fatalf("result missing site spec: %+v", r)
+		}
+	}
+	if identified == 0 {
+		t.Fatal("predictor never identified the target across 10 corpus sites")
+	}
+	if complete == 0 {
+		t.Fatal("no corpus page load ever completed")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/runner"
 )
 
@@ -63,11 +64,14 @@ func setSegments(opts []Option, labels ...string) {
 	}
 }
 
-// runTrials executes n trials through the worker pool, building the
-// i-th trial's parameters with mk(i), and returns the results in
-// trial order. Each worker keeps one reusable World, reset per trial,
-// so a sweep pays construction once per worker rather than once per
-// trial. A trial that panics is reported as a broken trial
+// runTrials executes n trials through the streaming pipeline,
+// building the i-th trial's parameters with mk(i), and returns the
+// results in trial order. The fixed sweeps are pipeline campaigns: a
+// Fixed generator over the configuration grid, the shared worker pool
+// (each worker keeps one reusable World, reset per trial), and a
+// Collector exporter — the same execution path survey campaigns use,
+// minus checkpointing, which in-memory sweeps have no use for. A
+// trial that panics is reported as a broken trial
 // (TrialResult{Broken: true}) so a single bad seed cannot kill a
 // sweep; every aggregate already accounts broken trials.
 func runTrials(n int, opts []Option, mk func(i int) TrialParams) []TrialResult {
@@ -83,14 +87,20 @@ func runTrials(n int, opts []Option, mk func(i int) TrialParams) []TrialResult {
 		}
 		onTrialDone = func(_ int, elapsed time.Duration) { reg.ObserveTrialWall(elapsed) }
 	}
-	results, failures := runner.RunWith(n, runner.Options{
+	collect := pipeline.NewCollector[TrialParams, TrialResult](n)
+	sum, err := pipeline.Run(pipeline.Config{
 		Workers:     cfg.workers,
 		OnProgress:  cfg.onProgress,
 		OnTrialDone: onTrialDone,
-	}, newState, func(w *World, i int) TrialResult {
-		return w.RunTrial(mk(i))
-	})
-	for _, f := range failures {
+	}, pipeline.Fixed[TrialParams]{CampaignName: "sweep", N: n, Fn: mk},
+		newState, (*World).RunTrial, collect)
+	if err != nil {
+		// No checkpointing and an infallible exporter: a failure here
+		// is a harness bug, not a runtime condition.
+		panic(err)
+	}
+	results := collect.Results()
+	for _, f := range sum.Failures {
 		results[f.Index] = TrialResult{Broken: true}
 	}
 	return results

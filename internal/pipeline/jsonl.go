@@ -1,0 +1,136 @@
+package pipeline
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// JSONL streams one JSON line per trial to a file — the bounded-
+// memory raw export of a campaign. Lines are written in trial-index
+// order; the encoding is the caller's (a marshal function over the
+// trial's params and result), so one implementation serves any
+// campaign type.
+//
+// Its checkpoint state is the byte offset and line count after the
+// last exported trial. Restore truncates the file back to that
+// offset, discarding any trailing lines a killed run had written past
+// its last checkpoint; because the pipeline re-runs exactly the
+// trials after the checkpoint and trials are pure functions of their
+// index, the resumed file ends up byte-identical to an uninterrupted
+// run's.
+type JSONL[P, R any] struct {
+	path   string
+	encode func(i int, p P, r R) (any, error)
+
+	file    *os.File
+	w       *bufio.Writer
+	offset  int64
+	lines   int64
+	resumed bool
+}
+
+// NewJSONL builds a JSONL exporter writing to path. encode maps one
+// trial to the value marshalled as its line; returning the result
+// struct itself is typical.
+func NewJSONL[P, R any](path string, encode func(i int, p P, r R) (any, error)) *JSONL[P, R] {
+	return &JSONL[P, R]{path: path, encode: encode}
+}
+
+// Name implements Exporter.
+func (j *JSONL[P, R]) Name() string { return "jsonl:" + filepath.Base(j.path) }
+
+// jsonlState is the serialized checkpoint state.
+type jsonlState struct {
+	Offset int64 `json:"offset"`
+	Lines  int64 `json:"lines"`
+}
+
+// Restore implements Exporter: record the checkpointed offset; Begin
+// truncates to it.
+func (j *JSONL[P, R]) Restore(state json.RawMessage) error {
+	var s jsonlState
+	if err := json.Unmarshal(state, &s); err != nil {
+		return fmt.Errorf("jsonl state: %w", err)
+	}
+	j.offset, j.lines, j.resumed = s.Offset, s.Lines, true
+	return nil
+}
+
+// Begin implements Exporter: open (or reopen) the file. On resume the
+// file is truncated to the checkpointed offset; on a fresh campaign
+// it is truncated to empty.
+func (j *JSONL[P, R]) Begin(m Meta) error {
+	if dir := filepath.Dir(j.path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(j.offset); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Seek(j.offset, 0); err != nil {
+		f.Close()
+		return err
+	}
+	j.file = f
+	j.w = bufio.NewWriterSize(f, 1<<16)
+	return nil
+}
+
+// Export implements Exporter: append one line.
+func (j *JSONL[P, R]) Export(i int, p P, r R) error {
+	v, err := j.encode(i, p, r)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := j.w.Write(data); err != nil {
+		return err
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	j.offset += int64(len(data)) + 1
+	j.lines++
+	return nil
+}
+
+// Checkpoint implements Exporter. The buffered writer is flushed
+// first so the recorded offset is durable bytes, not buffered ones.
+func (j *JSONL[P, R]) Checkpoint() (json.RawMessage, error) {
+	if j.w != nil {
+		if err := j.w.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	return json.Marshal(jsonlState{Offset: j.offset, Lines: j.lines})
+}
+
+// Close implements Exporter.
+func (j *JSONL[P, R]) Close(bool) error {
+	if j.file == nil {
+		return nil
+	}
+	if err := j.w.Flush(); err != nil {
+		j.file.Close()
+		return err
+	}
+	err := j.file.Close()
+	j.file, j.w = nil, nil
+	return err
+}
+
+// Lines reports how many lines the exporter has written across the
+// campaign so far (including lines restored from a checkpoint).
+func (j *JSONL[P, R]) Lines() int64 { return j.lines }

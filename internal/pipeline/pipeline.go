@@ -1,0 +1,268 @@
+// Package pipeline is the streaming experiment surface of the
+// repository: a generator → runner → exporter pipeline that executes
+// seeded trial campaigns of any length in bounded memory, with
+// checkpointed progress and byte-identical resume.
+//
+// The three stage contracts are deliberately small:
+//
+//   - A Generator describes the campaign: how many trials, and the
+//     parameters of trial i. Params(i) must be a cheap pure function
+//     of i — that one rule is what makes the whole pipeline
+//     deterministic at any worker count, resumable from any index,
+//     and free to re-derive parameters instead of storing them.
+//   - The runner (internal/runner.StreamWith) fans trial indices
+//     across a worker pool, each worker holding one reusable state
+//     arena, and delivers results in strict index order through a
+//     bounded reorder window — at most Window trials are in flight or
+//     parked, no matter how long the campaign runs.
+//   - Exporters consume the ordered (index, params, result) stream:
+//     accumulate a table, append a JSONL line, feed a metrics
+//     registry. Because the stream order is index order, an
+//     exporter's output is a pure function of the campaign
+//     definition — the same bytes at -j 1 and -j 64.
+//
+// Checkpointing rides on the same purity. Every CheckpointEvery
+// trials the pipeline collects each exporter's serialized state plus
+// the next trial index into one JSON checkpoint file (written
+// atomically). A resumed run restores the exporters, re-verifies the
+// campaign fingerprint, and continues from the recorded index; trials
+// after the checkpoint re-execute identically, so the final exporter
+// output is byte-identical to an uninterrupted run. A kill between
+// checkpoints loses at most CheckpointEvery trials of work, never
+// output integrity: exporters whose sinks can hold partial trailing
+// data (the JSONL file) truncate back to their checkpointed state on
+// restore.
+//
+// Every sweep in this repository executes through Run — the paper's
+// six fixed sweeps (via experiment's Fixed generators and a Collector
+// exporter) and the synthetic-corpus survey campaigns (via the
+// website corpus generator and the JSONL/summary/obs exporters) are
+// configurations of this one path, not separate harnesses.
+package pipeline
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// Config tunes one Run. The zero value runs serially-scheduled on all
+// CPUs with no checkpointing.
+type Config struct {
+	// Workers is the trial worker count (internal/runner semantics:
+	// <=0 means GOMAXPROCS, 1 is the serial path).
+	Workers int
+
+	// Window bounds how many trials may be in flight or parked ahead
+	// of the export cursor (internal/runner.StreamOptions.Window).
+	// Zero selects the runner default, max(64, 4*workers).
+	Window int
+
+	// OnProgress receives completion/ETA snapshots (serialized).
+	OnProgress func(runner.Progress)
+
+	// OnTrialDone receives each trial's index and wall-clock duration
+	// (serialized; runner semantics), e.g. obs.Registry.ObserveTrialWall.
+	OnTrialDone func(index int, elapsed time.Duration)
+
+	// Checkpoint is the checkpoint file path; empty disables
+	// checkpointing (and resume).
+	Checkpoint string
+
+	// CheckpointEvery is the number of exported trials between
+	// checkpoint writes. Zero means 1000. The final state at
+	// completion or stop is always checkpointed.
+	CheckpointEvery int
+
+	// MaxTrials, when positive, stops the run after that many trials
+	// have been exported by this invocation, checkpointing the stop
+	// point. The campaign is resumed by running again with the same
+	// checkpoint file — the chunked execution mode for multi-hour
+	// campaigns (and the deterministic "kill" used by the resume
+	// tests).
+	MaxTrials int
+
+	// Stop, when non-nil, requests a graceful stop when it becomes
+	// readable (e.g. closed on SIGINT): the pipeline finishes the
+	// trial at the export cursor, checkpoints, and returns with
+	// Summary.Done == false.
+	Stop <-chan struct{}
+}
+
+// Summary reports what one Run invocation did.
+type Summary struct {
+	// Name is the generator's campaign name.
+	Name string
+
+	// Trials is the total campaign size.
+	Trials int
+
+	// Start is the index this invocation began at (non-zero on
+	// resume).
+	Start int
+
+	// Exported counts trials exported across the whole campaign so
+	// far (== the next index to run; Start + this run's exports).
+	Exported int
+
+	// Failures are this invocation's panicked trials, in index order
+	// (their results were exported as zero values).
+	Failures []*runner.TrialError
+
+	// Done reports whether the campaign completed. False means a
+	// MaxTrials/Stop stop was checkpointed for resume.
+	Done bool
+}
+
+// errStopped distinguishes an emit-side stop from exhaustion.
+var errStopped = errors.New("pipeline: stopped")
+
+// Run executes gen's campaign through a worker pool and streams every
+// trial, in index order, to each exporter. newState builds one
+// reusable worker arena (e.g. an experiment.World) and trial executes
+// one trial in it; trial(state, gen.Params(i)) must depend only on i,
+// the same purity contract as internal/runner.
+//
+// With cfg.Checkpoint set, Run resumes from an existing checkpoint
+// file (restoring exporter state and the next index, after verifying
+// the generator fingerprint) and periodically checkpoints progress.
+// A campaign whose checkpoint says done returns immediately without
+// touching the exporters.
+func Run[P, R, S any](cfg Config, gen Generator[P], newState func() S, trial func(state S, p P) R, exporters ...Exporter[P, R]) (Summary, error) {
+	n := gen.Trials()
+	sum := Summary{Name: gen.Name(), Trials: n}
+
+	var ck *checkpoint
+	if cfg.Checkpoint != "" {
+		loaded, err := loadCheckpoint(cfg.Checkpoint)
+		if err != nil {
+			return sum, err
+		}
+		if loaded != nil {
+			if err := loaded.verify(gen.Name(), gen.Fingerprint(), n); err != nil {
+				return sum, err
+			}
+			if loaded.DoneFlag {
+				sum.Start, sum.Exported, sum.Done = loaded.Next, loaded.Next, true
+				return sum, nil
+			}
+			for _, e := range exporters {
+				state, ok := loaded.Exporters[e.Name()]
+				if !ok {
+					return sum, fmt.Errorf("pipeline: checkpoint %s has no state for exporter %q", cfg.Checkpoint, e.Name())
+				}
+				if err := e.Restore(state); err != nil {
+					return sum, fmt.Errorf("pipeline: restore exporter %q: %w", e.Name(), err)
+				}
+			}
+			sum.Start = loaded.Next
+		}
+		ck = newCheckpoint(cfg.Checkpoint, gen.Name(), gen.Fingerprint(), n)
+	}
+
+	// checkpointStates collects every exporter's serialized state; a
+	// failing exporter aborts the save so a checkpoint never records
+	// a partial exporter set.
+	checkpointStates := func() (map[string]json.RawMessage, error) {
+		states := make(map[string]json.RawMessage, len(exporters))
+		for _, e := range exporters {
+			state, err := e.Checkpoint()
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: checkpoint exporter %q: %w", e.Name(), err)
+			}
+			if state == nil {
+				state = json.RawMessage("null")
+			}
+			states[e.Name()] = state
+		}
+		return states, nil
+	}
+	saveCheckpoint := func(next int, done bool) error {
+		states, err := checkpointStates()
+		if err != nil {
+			return err
+		}
+		return ck.save(next, done, states)
+	}
+
+	meta := Meta{Name: gen.Name(), Trials: n, Start: sum.Start, Resumed: sum.Start > 0}
+	for _, e := range exporters {
+		if err := e.Begin(meta); err != nil {
+			return sum, fmt.Errorf("pipeline: exporter %q: %w", e.Name(), err)
+		}
+	}
+
+	every := cfg.CheckpointEvery
+	if every <= 0 {
+		every = 1000
+	}
+	exported := 0
+	var runErr error
+	runner.StreamWith(n, runner.StreamOptions{
+		Options: runner.Options{Workers: cfg.Workers, OnProgress: cfg.OnProgress, OnTrialDone: cfg.OnTrialDone},
+		Start:   sum.Start,
+		Window:  cfg.Window,
+	}, newState, func(s S, i int) R {
+		return trial(s, gen.Params(i))
+	}, func(i int, result R, err *runner.TrialError) bool {
+		if err != nil {
+			sum.Failures = append(sum.Failures, err)
+		}
+		p := gen.Params(i)
+		for _, e := range exporters {
+			if expErr := e.Export(i, p, result); expErr != nil {
+				runErr = fmt.Errorf("pipeline: exporter %q at trial %d: %w", e.Name(), i, expErr)
+				return false
+			}
+		}
+		exported++
+		stop := false
+		if cfg.MaxTrials > 0 && exported >= cfg.MaxTrials {
+			stop = true
+		}
+		if cfg.Stop != nil && !stop {
+			select {
+			case <-cfg.Stop:
+				stop = true
+			default:
+			}
+		}
+		if ck != nil && exported%every == 0 {
+			if ckErr := saveCheckpoint(i+1, false); ckErr != nil {
+				runErr = ckErr
+				return false
+			}
+		}
+		if stop {
+			runErr = errStopped
+			return false
+		}
+		return true
+	})
+
+	sum.Exported = sum.Start + exported
+	if runErr != nil && runErr != errStopped {
+		// The exporters may be mid-trial; close them without the
+		// done-side effects and leave the last periodic checkpoint as
+		// the resume point.
+		for _, e := range exporters {
+			_ = e.Close(false)
+		}
+		return sum, runErr
+	}
+	sum.Done = runErr == nil && sum.Exported == n
+	if ck != nil {
+		if err := saveCheckpoint(sum.Exported, sum.Done); err != nil {
+			return sum, err
+		}
+	}
+	for _, e := range exporters {
+		if err := e.Close(sum.Done); err != nil {
+			return sum, fmt.Errorf("pipeline: close exporter %q: %w", e.Name(), err)
+		}
+	}
+	return sum, nil
+}

@@ -23,7 +23,6 @@ package runner
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 )
@@ -110,85 +109,60 @@ func Run[T any](n int, opts Options, fn func(index int) T) ([]T, []*TrialError) 
 // as a channel between trials. Which worker's state a trial sees
 // depends on scheduling; any state leak shows up as worker-count-
 // dependent output.
+//
+// RunWith is the collect-everything convenience over StreamWith: it
+// allocates the full result slice up front. Callers that must stay
+// in bounded memory (long campaigns) use StreamWith directly.
 func RunWith[S, T any](n int, opts Options, newState func() S, fn func(state S, index int) T) ([]T, []*TrialError) {
 	if n <= 0 {
 		return nil, nil
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-
 	results := make([]T, n)
-	st := &state{total: n, start: time.Now(), onProgress: opts.OnProgress, onTrialDone: opts.OnTrialDone}
-
-	if workers == 1 {
-		ws := newState()
-		for i := 0; i < n; i++ {
-			runOne(i, results, st, ws, fn)
-		}
-	} else {
-		// Dispatch by shared counter: workers pull the next index, so
-		// an expensive trial does not stall a fixed stride. Identity
-		// of the pulling worker never reaches fn (beyond the reusable
-		// state arena, which the contract above keeps trial-neutral).
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				ws := newState()
-				for {
-					st.mu.Lock()
-					i := st.next
-					st.next++
-					st.mu.Unlock()
-					if i >= n {
-						return
-					}
-					runOne(i, results, st, ws, fn)
-				}
-			}()
-		}
-		wg.Wait()
-	}
-
-	sort.Slice(st.failures, func(a, b int) bool { return st.failures[a].Index < st.failures[b].Index })
-	return results, st.failures
+	var failures []*TrialError
+	StreamWith(n, StreamOptions{Options: opts}, newState, fn,
+		func(i int, result T, err *TrialError) bool {
+			results[i] = result
+			if err != nil {
+				failures = append(failures, err)
+			}
+			return true
+		})
+	return results, failures
 }
 
-// state is the mutable bookkeeping shared by the workers of one Run.
+// defaultWorkers resolves the Workers zero value.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// state is the mutable completion bookkeeping shared by the workers
+// of one Run/StreamWith: completion counts and the progress/timing
+// callbacks, serialized under one lock.
 type state struct {
 	mu          sync.Mutex
-	next        int
 	completed   int
-	failures    []*TrialError
+	failed      int
 	total       int
 	start       time.Time
 	onProgress  func(Progress)
 	onTrialDone func(int, time.Duration)
 }
 
-// runOne executes a single trial with panic capture and updates the
-// shared progress under the lock.
-func runOne[S, T any](i int, results []T, st *state, ws S, fn func(S, int) T) {
-	var elapsed time.Duration
-	var failure *TrialError
-	if st.onTrialDone != nil {
-		started := time.Now()
-		failure = protect(i, &results[i], ws, fn)
-		elapsed = time.Since(started)
-	} else {
-		failure = protect(i, &results[i], ws, fn)
-	}
+// newRunState builds the completion bookkeeping for a batch of total
+// trials.
+func newRunState(total int, opts Options) *state {
+	return &state{total: total, start: time.Now(), onProgress: opts.OnProgress, onTrialDone: opts.OnTrialDone}
+}
 
+// timed reports whether trials must be wall-clock timed (only when a
+// consumer asked, so the default path pays nothing).
+func (st *state) timed() bool { return st.onTrialDone != nil }
+
+// finishOne records one trial completion and fires the callbacks,
+// serialized under the state lock.
+func (st *state) finishOne(i int, failure *TrialError, elapsed time.Duration) {
 	st.mu.Lock()
 	st.completed++
 	if failure != nil {
-		st.failures = append(st.failures, failure)
+		st.failed++
 	}
 	if st.onTrialDone != nil {
 		st.onTrialDone(i, elapsed)
@@ -196,7 +170,7 @@ func runOne[S, T any](i int, results []T, st *state, ws S, fn func(S, int) T) {
 	if st.onProgress != nil {
 		p := Progress{
 			Completed: st.completed,
-			Failed:    len(st.failures),
+			Failed:    st.failed,
 			Total:     st.total,
 			Elapsed:   time.Since(st.start),
 		}

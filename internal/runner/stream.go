@@ -1,0 +1,199 @@
+package runner
+
+import (
+	"sync"
+	"time"
+)
+
+// StreamOptions configures a StreamWith run. The embedded Options
+// carry the worker count and the progress/timing callbacks with the
+// same semantics as Run/RunWith.
+type StreamOptions struct {
+	Options
+
+	// Start is the first trial index to execute; StreamWith runs
+	// [Start, n). A checkpointed campaign resumes by setting Start to
+	// the index after the last exported trial — because trials are
+	// pure functions of their index, the emitted stream continues
+	// exactly where the interrupted run left off.
+	Start int
+
+	// Window bounds how far trial execution may run ahead of the
+	// emit cursor: at most Window trials are in flight or parked
+	// waiting for an earlier index to complete, so memory stays
+	// bounded no matter how long the campaign is. Zero or negative
+	// selects max(64, 4*workers). The window never affects the
+	// emitted stream, only scheduling.
+	Window int
+}
+
+// windowFor resolves the admission window for a worker count.
+func (o StreamOptions) windowFor(workers int) int {
+	if o.Window > 0 {
+		return o.Window
+	}
+	if w := 4 * workers; w > 64 {
+		return w
+	}
+	return 64
+}
+
+// StreamWith executes fn(state, i) for every i in [opts.Start, n)
+// across a worker pool and delivers each result to emit in strict
+// index order — the streaming core under internal/pipeline. Unlike
+// RunWith it never accumulates results: completed trials are parked
+// in a fixed-size reorder ring (capacity opts.Window) until every
+// earlier index has been emitted, so a million-trial campaign holds
+// at most Window results in memory.
+//
+// emit runs serialized (never concurrently) and in index order. A
+// trial that panicked is delivered with the zero value of T and a
+// non-nil *TrialError. emit's return value is the continuation
+// signal: returning false stops the stream — no further trials are
+// admitted, no further results are emitted, and in-flight trials are
+// discarded (a resumed run will re-execute them; with index-derived
+// seeds they reproduce exactly).
+//
+// The determinism contract is RunWith's: fn(state, i) must depend
+// only on i, treating state purely as a reusable per-worker arena.
+// Under that contract the emitted (index, result) stream is identical
+// at every worker count and every window size.
+func StreamWith[S, T any](n int, opts StreamOptions, newState func() S, fn func(state S, index int) T, emit func(index int, result T, err *TrialError) bool) {
+	if n <= opts.Start {
+		return
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	remaining := n - opts.Start
+	if workers > remaining {
+		workers = remaining
+	}
+	// Progress covers this run's portion: a resumed campaign reports
+	// completion and ETA over the trials it still has to execute.
+	st := newRunState(remaining, opts.Options)
+
+	if workers == 1 {
+		// Serial path: run and emit inline; the window is irrelevant
+		// because results are emitted as they complete.
+		ws := newState()
+		for i := opts.Start; i < n; i++ {
+			result, failure, elapsed := runTimed(st, i, ws, fn)
+			st.finishOne(i, failure, elapsed)
+			if !emit(i, result, failure) {
+				return
+			}
+		}
+		return
+	}
+
+	sw := &streamState[T]{
+		runState: st,
+		next:     opts.Start,
+		head:     opts.Start,
+		n:        n,
+		ring:     make([]streamSlot[T], opts.windowFor(workers)),
+	}
+	sw.cond = sync.NewCond(&sw.mu)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			ws := newState()
+			for {
+				i, ok := sw.claim()
+				if !ok {
+					return
+				}
+				result, failure, elapsed := runTimed(st, i, ws, fn)
+				sw.deliver(i, result, failure, elapsed, emit)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// streamSlot is one parked completion in the reorder ring.
+type streamSlot[T any] struct {
+	result T
+	err    *TrialError
+	done   bool
+}
+
+// streamState is the shared bookkeeping of one StreamWith run.
+type streamState[T any] struct {
+	runState *state
+	mu       sync.Mutex
+	cond     *sync.Cond
+	next     int // next index to hand to a worker
+	head     int // next index to emit
+	n        int
+	stopped  bool
+	ring     []streamSlot[T] // reorder buffer, indexed by index % len(ring)
+}
+
+// claim hands the calling worker the next trial index, blocking while
+// the reorder window is full. Returns ok=false when the stream is
+// exhausted or stopped.
+func (sw *streamState[T]) claim() (int, bool) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	for !sw.stopped && sw.next < sw.n && sw.next >= sw.head+len(sw.ring) {
+		sw.cond.Wait()
+	}
+	if sw.stopped || sw.next >= sw.n {
+		return 0, false
+	}
+	i := sw.next
+	sw.next++
+	return i, true
+}
+
+// runTimed executes one trial with panic capture, measuring its wall
+// clock only when a consumer asked for per-trial timing.
+func runTimed[S, T any](st *state, i int, ws S, fn func(S, int) T) (result T, failure *TrialError, elapsed time.Duration) {
+	if st.timed() {
+		started := time.Now()
+		failure = protect(i, &result, ws, fn)
+		elapsed = time.Since(started)
+		return result, failure, elapsed
+	}
+	failure = protect(i, &result, ws, fn)
+	return result, failure, 0
+}
+
+// deliver parks one completed trial and emits every contiguous
+// completed index from the head of the window.
+func (sw *streamState[T]) deliver(i int, result T, failure *TrialError, elapsed time.Duration, emit func(int, T, *TrialError) bool) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.runState.finishOne(i, failure, elapsed)
+	if sw.stopped {
+		return
+	}
+	slot := &sw.ring[i%len(sw.ring)]
+	slot.result, slot.err, slot.done = result, failure, true
+	for sw.head < sw.n {
+		head := &sw.ring[sw.head%len(sw.ring)]
+		if !head.done {
+			break
+		}
+		result, err := head.result, head.err
+		var zero streamSlot[T]
+		*head = zero
+		idx := sw.head
+		sw.head++
+		// emit runs under the lock: exporters see a serialized,
+		// index-ordered stream without further synchronization.
+		if !emit(idx, result, err) {
+			sw.stopped = true
+			break
+		}
+	}
+	// Either the head advanced (windowed-out workers can claim again)
+	// or the stream stopped (waiters must exit).
+	sw.cond.Broadcast()
+}

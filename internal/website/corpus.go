@@ -1,0 +1,338 @@
+package website
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// ScheduleShape classifies the request-timing profile of a synthetic
+// site: how a browser paces the object requests after the page
+// skeleton lands.
+type ScheduleShape uint8
+
+const (
+	// ShapeBurst issues almost everything in sub-millisecond bursts
+	// with occasional parser pauses — the asset waterfall of a
+	// script-heavy page.
+	ShapeBurst ScheduleShape = iota + 1
+
+	// ShapePaced spreads requests 5–40 ms apart — sequential parsing
+	// with little concurrency.
+	ShapePaced
+
+	// ShapeWaves groups requests into bursts of 4–8 separated by
+	// 50–300 ms pauses — progressive rendering in stages.
+	ShapeWaves
+)
+
+var shapeNames = map[ScheduleShape]string{
+	ShapeBurst: "burst",
+	ShapePaced: "paced",
+	ShapeWaves: "waves",
+}
+
+// String returns a short shape name.
+func (s ScheduleShape) String() string {
+	if n, ok := shapeNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("ScheduleShape(%d)", uint8(s))
+}
+
+// AllShapes lists every schedule shape, the default corpus mix.
+var AllShapes = []ScheduleShape{ShapeBurst, ShapePaced, ShapeWaves}
+
+// CorpusConfig parameterizes a synthetic site population. Every field
+// has a usable default (see Normalize); the zero value plus a Sites
+// count is a valid corpus.
+type CorpusConfig struct {
+	// Seed is the corpus master seed. Site i derives its own seed
+	// from (Seed, i) with a splitmix64 step, so the population is
+	// identical no matter which sites are built, in which order, on
+	// how many workers.
+	Seed uint64
+
+	// Sites is the population size.
+	Sites int
+
+	// MinObjects/MaxObjects bound the per-site object count
+	// (inclusive). Defaults 8 and 64.
+	MinObjects int
+	MaxObjects int
+
+	// MinSize/MaxSize bound object body sizes in bytes; sizes are
+	// drawn log-uniformly so small assets dominate, as in real
+	// inventories. Defaults 300 and 150000.
+	MinSize int
+	MaxSize int
+
+	// MinSizeGap is the minimum pairwise distance between object
+	// sizes on one site. The default 48 keeps every site's size table
+	// unambiguous under the predictor's ±32-byte record-matching
+	// tolerance, so identification failures measure the attack, not
+	// corpus degeneracy. Set it to 0..32 to deliberately generate
+	// colliding inventories.
+	MinSizeGap int
+
+	// Shapes is the schedule-shape mix sites are drawn from.
+	// Defaults to AllShapes.
+	Shapes []ScheduleShape
+}
+
+// Normalize fills defaults and returns the effective configuration.
+func (c CorpusConfig) Normalize() CorpusConfig {
+	if c.MinObjects <= 0 {
+		c.MinObjects = 8
+	}
+	if c.MaxObjects <= 0 {
+		c.MaxObjects = 64
+	}
+	if c.MaxObjects < c.MinObjects {
+		c.MaxObjects = c.MinObjects
+	}
+	if c.MinSize <= 0 {
+		c.MinSize = 300
+	}
+	if c.MaxSize <= 0 {
+		c.MaxSize = 150000
+	}
+	if c.MaxSize < c.MinSize {
+		c.MaxSize = c.MinSize
+	}
+	if c.MinSizeGap <= 0 {
+		c.MinSizeGap = 48
+	}
+	if len(c.Shapes) == 0 {
+		c.Shapes = AllShapes
+	}
+	return c
+}
+
+// Fingerprint is a stable one-line description of the full
+// configuration, recorded in campaign checkpoints to refuse resuming
+// under a different population.
+func (c CorpusConfig) Fingerprint() string {
+	c = c.Normalize()
+	shapes := ""
+	for i, s := range c.Shapes {
+		if i > 0 {
+			shapes += ","
+		}
+		shapes += s.String()
+	}
+	return fmt.Sprintf("corpus{seed=%d sites=%d objects=%d..%d size=%d..%d gap=%d shapes=%s}",
+		c.Seed, c.Sites, c.MinObjects, c.MaxObjects, c.MinSize, c.MaxSize, c.MinSizeGap, shapes)
+}
+
+// SiteSpec summarizes one generated site — the fields a survey
+// campaign wants alongside each trial result without re-building the
+// site.
+type SiteSpec struct {
+	// Index is the site's position in the corpus.
+	Index int `json:"site"`
+
+	// Seed is the site's derived generation seed.
+	Seed uint64 `json:"seed"`
+
+	// Objects is the object count.
+	Objects int `json:"objects"`
+
+	// Shape is the schedule shape.
+	Shape string `json:"shape"`
+
+	// TargetID is the object ID of the attacked HTML document; it
+	// equals its 1-based schedule position (IDs are assigned in
+	// request order), so an attacker triggering on the N-th GET sets
+	// TriggerGet = TargetID.
+	TargetID int `json:"target_id"`
+
+	// TargetSize is the target's body size in bytes.
+	TargetSize int `json:"target_size"`
+
+	// TotalBytes is the site's summed object size.
+	TotalBytes int `json:"total_bytes"`
+}
+
+// GeneratedSite couples a built site model with its spec.
+type GeneratedSite struct {
+	*Site
+	Spec SiteSpec
+}
+
+// Corpus is a deterministic synthetic site population. It holds no
+// built sites — Build(i) derives site i from scratch every call, a
+// pure function of (config, i) — so a million-site corpus costs
+// nothing until sites are built, and per-worker caching is the
+// caller's choice.
+type Corpus struct {
+	cfg CorpusConfig
+}
+
+// NewCorpus builds a corpus handle with defaults applied.
+func NewCorpus(cfg CorpusConfig) *Corpus {
+	return &Corpus{cfg: cfg.Normalize()}
+}
+
+// Config returns the effective (normalized) configuration.
+func (c *Corpus) Config() CorpusConfig { return c.cfg }
+
+// Len returns the population size.
+func (c *Corpus) Len() int { return c.cfg.Sites }
+
+// splitmix64 is the standard splitmix64 finalizer, mixing the corpus
+// seed with a site index into an independent per-site seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SiteSeed returns site i's derived generation seed.
+func (c *Corpus) SiteSeed(i int) uint64 {
+	return splitmix64(c.cfg.Seed ^ splitmix64(uint64(i)+1))
+}
+
+// Build generates site i. The result is freshly allocated — callers
+// running many trials against the same site should cache it keyed on
+// the index (the survey worker state does).
+func (c *Corpus) Build(i int) *GeneratedSite {
+	cfg := c.cfg
+	seed := c.SiteSeed(i)
+	rng := rand.New(rand.NewSource(int64(seed)))
+
+	nObjects := cfg.MinObjects + rng.Intn(cfg.MaxObjects-cfg.MinObjects+1)
+	shape := cfg.Shapes[rng.Intn(len(cfg.Shapes))]
+
+	// The attacked HTML document sits mid-schedule — late enough that
+	// skeleton objects precede it (the attack throttles during them),
+	// early enough that a tail of embedded objects follows.
+	targetPos := 2 + rng.Intn(maxInt(1, nObjects-4)) // 0-based, in [2, nObjects-3]
+	if targetPos > nObjects-2 {
+		targetPos = nObjects - 2
+	}
+	if targetPos < 0 {
+		targetPos = 0
+	}
+
+	// Draw object sizes log-uniformly, keeping every pair at least
+	// MinSizeGap apart so the site's size table is as ambiguous as the
+	// config asks for and no more.
+	logMin, logMax := math.Log(float64(cfg.MinSize)), math.Log(float64(cfg.MaxSize))
+	used := make(map[int]bool, nObjects)
+	distinct := func(want int) int {
+		for {
+			ok := true
+			for u := range used {
+				d := want - u
+				if d < 0 {
+					d = -d
+				}
+				if d < cfg.MinSizeGap {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				used[want] = true
+				return want
+			}
+			want += cfg.MinSizeGap + 1
+		}
+	}
+	drawSize := func() int {
+		u := rng.Float64()
+		return distinct(int(math.Round(math.Exp(logMin + u*(logMax-logMin)))))
+	}
+
+	site := &Site{Name: fmt.Sprintf("corpus-%d", i)}
+	total := 0
+	var targetSize int
+	for j := 0; j < nObjects; j++ {
+		id := j + 1
+		size := drawSize()
+		total += size
+		kind := KindImage
+		label := fmt.Sprintf("asset-%d", id)
+		if j == targetPos {
+			kind = KindHTML
+			label = "target-html"
+			targetSize = size
+		} else {
+			switch rng.Intn(5) {
+			case 0:
+				kind = KindScript
+			case 1:
+				kind = KindStyle
+			case 2:
+				kind = KindHTML
+			}
+		}
+		site.Objects = append(site.Objects, Object{
+			ID:    id,
+			Path:  fmt.Sprintf("/corpus/%d/%s-%d", i, kind, id),
+			Size:  size,
+			Kind:  kind,
+			Label: label,
+		})
+	}
+
+	// Request schedule: IDs in order, gaps by shape, with a think-time
+	// pause (parse/render, 150–600 ms) before the target document as
+	// on the survey site.
+	site.Schedule = make([]RequestSpec, 0, nObjects)
+	wave := 0
+	for j := 0; j < nObjects; j++ {
+		var gap time.Duration
+		switch {
+		case j == 0:
+			gap = 0
+		case j == targetPos:
+			gap = time.Duration(150+rng.Intn(451)) * time.Millisecond
+		default:
+			switch shape {
+			case ShapePaced:
+				gap = time.Duration(5+rng.Intn(36)) * time.Millisecond
+			case ShapeWaves:
+				if wave <= 0 {
+					wave = 4 + rng.Intn(5)
+					gap = time.Duration(50+rng.Intn(251)) * time.Millisecond
+				} else {
+					gap = time.Duration(100+rng.Intn(900)) * time.Microsecond
+				}
+				wave--
+			default: // ShapeBurst
+				if rng.Intn(7) == 0 {
+					gap = time.Duration(5+rng.Intn(16)) * time.Millisecond
+				} else {
+					gap = time.Duration(100+rng.Intn(900)) * time.Microsecond
+				}
+			}
+		}
+		site.Schedule = append(site.Schedule, RequestSpec{ObjectID: j + 1, Gap: gap})
+	}
+	site.Finalize()
+
+	return &GeneratedSite{
+		Site: site,
+		Spec: SiteSpec{
+			Index:      i,
+			Seed:       seed,
+			Objects:    nObjects,
+			Shape:      shape.String(),
+			TargetID:   targetPos + 1,
+			TargetSize: targetSize,
+			TotalBytes: total,
+		},
+	}
+}
+
+// maxInt is a pre-generics helper kept local to the corpus.
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
