@@ -26,6 +26,8 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/h2"
 	"repro/internal/h2sim"
+	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/website"
 )
 
@@ -323,6 +325,74 @@ func BenchmarkDegreeOfMultiplexing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		analysis.CopyTransmissions(sess.GroundTruth)
 	}
+}
+
+// benchRecordStream captures one full-attack trial's observed record
+// stream and its site, the shared fixture of the inference benches.
+func benchRecordStream(b *testing.B) (*website.Site, []trace.RecordObs) {
+	b.Helper()
+	site := website.Survey(website.IdentityPermutation())
+	sess := h2sim.NewSession(site, h2sim.SessionConfig{Seed: 42, RandomizeAmbient: true})
+	atk := core.Install(sess, core.PaperAttack())
+	sess.Run()
+	recs := append([]trace.RecordObs(nil), atk.Monitor.Records...)
+	if len(recs) == 0 {
+		b.Fatal("captured no records")
+	}
+	return site, recs
+}
+
+// BenchmarkInferPostHoc measures the reference inference path: the
+// linear-scan Predictor.Infer pass over a stored trial capture (the
+// pre-PR7 per-trial cost, allocating its result slice each call).
+func BenchmarkInferPostHoc(b *testing.B) {
+	site, recs := benchRecordStream(b)
+	p := core.NewPredictor(site)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(p.Infer(recs)) == 0 {
+			b.Fatal("no inferences")
+		}
+	}
+}
+
+// BenchmarkInferStreaming measures the online engine on the same
+// stream: Start + Observe per record + Inferences, with primed table
+// and reused buffers (zero-alloc steady state).
+func BenchmarkInferStreaming(b *testing.B) {
+	site, recs := benchRecordStream(b)
+	p := core.NewPredictor(site)
+	var eng core.StreamInference
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Start(p, obs.Sink{})
+		for _, r := range recs {
+			eng.Observe(r)
+		}
+		if len(eng.Inferences()) == 0 {
+			b.Fatal("no inferences")
+		}
+	}
+}
+
+// BenchmarkInferBatch measures the batched API amortizing size-table
+// setup across the K same-site trials a survey worker runs.
+func BenchmarkInferBatch(b *testing.B) {
+	site, recs := benchRecordStream(b)
+	p := core.NewPredictor(site)
+	const k = 8 // a typical -site-trials batch
+	streams := make([][]trace.RecordObs, k)
+	for i := range streams {
+		streams[i] = recs
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := p.InferBatch(streams)
+		if len(out) != k || len(out[0]) == 0 {
+			b.Fatal("bad batch result")
+		}
+	}
+	reportTrialsPerSec(b, k)
 }
 
 func itoa(n int) string { return strconv.Itoa(n) }

@@ -52,11 +52,59 @@ type CopyTransmission struct {
 // CopyTransmissions groups ground-truth frame events by copy and
 // computes each copy's degree of multiplexing. Results are ordered by
 // first wire byte. Every returned transmission is freshly allocated
-// (the results outlive the trace they were computed from).
+// (the results outlive the trace they were computed from). Hot loops
+// that score one trace per trial should keep an Analyzer instead and
+// amortize the indexing scratch.
 func CopyTransmissions(tr *trace.Trace) []*CopyTransmission {
+	var a Analyzer
+	return a.Copies(tr)
+}
+
+// Analyzer reconstructs copy transmissions with reused internal
+// scratch (the copy index, the sorted wire-frame buffer, the sorters),
+// so a trial world that scores one ground-truth trace per trial pays
+// no per-trial indexing allocations once the scratch has grown to its
+// high-water mark. An Analyzer is not safe for concurrent use; keep
+// one per worker, like experiment.World.
+//
+// Copies allocates the returned transmissions fresh (safe to retain,
+// the CopyTransmissions contract); CopiesReused returns arena-backed
+// results valid only until the next call, for consumers that extract
+// verdicts immediately.
+type Analyzer struct {
+	byKey map[CopyKey]int
+	wire  []trace.FrameEvent
+	arena []CopyTransmission
+	order []*CopyTransmission
+
+	wireSorter  wireByOffset
+	orderSorter copiesByStart
+}
+
+// Copies is CopyTransmissions with amortized scratch: the returned
+// transmissions (arena and pointer slice) are freshly allocated and
+// safe to retain; only the analyzer's internal indexing state is
+// reused between calls.
+func (a *Analyzer) Copies(tr *trace.Trace) []*CopyTransmission {
+	return a.analyze(tr, false)
+}
+
+// CopiesReused is the zero-steady-state-allocation variant: results
+// live in the analyzer's own arena and are valid only until the next
+// Copies/CopiesReused call. Byte-for-byte the same content as Copies.
+func (a *Analyzer) CopiesReused(tr *trace.Trace) []*CopyTransmission {
+	return a.analyze(tr, true)
+}
+
+func (a *Analyzer) analyze(tr *trace.Trace, reuse bool) []*CopyTransmission {
 	// Pass 1: count the wire (Len>0) frames and the distinct copies,
 	// so the arena and scratch below are sized exactly once.
-	byKey := make(map[CopyKey]int)
+	if a.byKey == nil {
+		a.byKey = make(map[CopyKey]int)
+	} else {
+		clear(a.byKey)
+	}
+	byKey := a.byKey
 	nWire := 0
 	for i := range tr.Frames {
 		f := &tr.Frames[i]
@@ -75,8 +123,30 @@ func CopyTransmissions(tr *trace.Trace) []*CopyTransmission {
 	// were assigned in first-occurrence order, so while iterating the
 	// frames in the same order, index inited is hit exactly when its
 	// copy's first frame appears.
-	arena := make([]CopyTransmission, len(byKey))
-	wire := make([]trace.FrameEvent, 0, nWire)
+	var arena []CopyTransmission
+	var order []*CopyTransmission
+	if reuse {
+		if cap(a.arena) < len(byKey) {
+			a.arena = make([]CopyTransmission, len(byKey))
+		} else {
+			a.arena = a.arena[:len(byKey)]
+			for i := range a.arena {
+				a.arena[i] = CopyTransmission{}
+			}
+		}
+		if cap(a.order) < len(byKey) {
+			a.order = make([]*CopyTransmission, len(byKey))
+		}
+		a.order = a.order[:len(byKey)]
+		arena, order = a.arena, a.order
+	} else {
+		arena = make([]CopyTransmission, len(byKey))
+		order = make([]*CopyTransmission, len(byKey))
+	}
+	wire := a.wire[:0]
+	if cap(wire) < nWire {
+		wire = make([]trace.FrameEvent, 0, nWire)
+	}
 	inited := 0
 	for _, f := range tr.Frames {
 		if f.Len == 0 {
@@ -104,6 +174,7 @@ func CopyTransmissions(tr *trace.Trace) []*CopyTransmission {
 			ct.Complete = true
 		}
 	}
+	a.wire = wire
 
 	// Degree of multiplexing: a frame of copy X is interleaved when an
 	// adjacent frame on the wire belongs to a different copy whose
@@ -111,8 +182,12 @@ func CopyTransmissions(tr *trace.Trace) []*CopyTransmission {
 	// side-channel needs: a delimiter-bounded record run is only
 	// attributable to X when no concurrent transmission's records
 	// border X's (sequentially adjacent transmissions do not count —
-	// that is the normal delimited case of Figure 1).
-	sort.Slice(wire, func(i, j int) bool { return wire[i].Offset < wire[j].Offset })
+	// that is the normal delimited case of Figure 1). Wire offsets are
+	// unique (each sealed record advances the stream), so the unstable
+	// sort is deterministic.
+	a.wireSorter.w = wire
+	sort.Sort(&a.wireSorter)
+	a.wireSorter.w = nil
 	overlaps := func(a, b *CopyTransmission) bool {
 		return a.Start < b.End && b.Start < a.End
 	}
@@ -130,7 +205,6 @@ func CopyTransmissions(tr *trace.Trace) []*CopyTransmission {
 			x.InterleavedBytes += f.Len
 		}
 	}
-	order := make([]*CopyTransmission, len(arena))
 	for i := range arena {
 		x := &arena[i]
 		if x.Bytes > 0 {
@@ -138,9 +212,28 @@ func CopyTransmissions(tr *trace.Trace) []*CopyTransmission {
 		}
 		order[i] = x
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i].Start < order[j].Start })
+	a.orderSorter.c = order
+	sort.Sort(&a.orderSorter)
+	a.orderSorter.c = nil
 	return order
 }
+
+// wireByOffset sorts wire frames by stream byte offset without the
+// sort.Slice reflection allocations (the analyzer stores one sorter
+// and re-points it per call).
+type wireByOffset struct{ w []trace.FrameEvent }
+
+func (s *wireByOffset) Len() int           { return len(s.w) }
+func (s *wireByOffset) Less(i, j int) bool { return s.w[i].Offset < s.w[j].Offset }
+func (s *wireByOffset) Swap(i, j int)      { s.w[i], s.w[j] = s.w[j], s.w[i] }
+
+// copiesByStart sorts transmissions by first wire byte, likewise
+// allocation-free.
+type copiesByStart struct{ c []*CopyTransmission }
+
+func (s *copiesByStart) Len() int           { return len(s.c) }
+func (s *copiesByStart) Less(i, j int) bool { return s.c[i].Start < s.c[j].Start }
+func (s *copiesByStart) Swap(i, j int)      { s.c[i], s.c[j] = s.c[j], s.c[i] }
 
 // CopiesOf filters transmissions of one object.
 func CopiesOf(copies []*CopyTransmission, objectID int) []*CopyTransmission {

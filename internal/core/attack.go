@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/h2sim"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // AttackConfig is the paper's phase schedule (section V):
@@ -70,7 +71,11 @@ type Attack struct {
 	// ArmPassive; the zero Sink discards everything.
 	Obs obs.Sink
 
-	infs []Inference // reused by Infer
+	// stream classifies record runs online as the monitor taps them;
+	// onRec is stream.Observe bound once at construction so re-arming
+	// each trial installs the hook without allocating a closure.
+	stream StreamInference
+	onRec  func(trace.RecordObs)
 }
 
 // NewAttack builds the adversary's components against a session
@@ -78,12 +83,14 @@ type Attack struct {
 // Session.Run; a reused world constructs one Attack and re-arms it
 // every trial.
 func NewAttack(sess *h2sim.Session) *Attack {
-	return &Attack{
+	a := &Attack{
 		Controller: NewController(sess.Sim, sess.Conn.Path),
 		Monitor:    NewMonitor(sess.Sim),
 		Predictor:  NewPredictor(sess.Site),
 		sess:       sess,
 	}
+	a.onRec = a.stream.Observe
+	return a
 }
 
 // reset rewinds the components for a fresh trial. Session.Reset has
@@ -96,7 +103,8 @@ func (a *Attack) reset(cfg AttackConfig) {
 	a.Controller.Obs = a.Obs
 	a.Monitor.Obs = a.Obs
 	a.Predictor.Site = a.sess.Site
-	a.infs = a.infs[:0]
+	a.stream.Start(a.Predictor, a.Obs)
+	a.Monitor.OnRecord = a.onRec
 }
 
 // Arm wires the full adversary onto the session's middlebox and
@@ -177,18 +185,21 @@ func (a *Attack) enterPhase3() {
 	a.Controller.SetSpacing(a.cfg.Phase2Spacing)
 }
 
-// Infer runs the predictor over everything the monitor observed. The
-// returned slice is backed by scratch owned by the attack: it is
-// valid until the next Infer or Arm call and must not be retained
-// across trials.
+// Infer returns what the streaming engine classified during the
+// trial: the runs were segmented and matched online as the monitor
+// tapped each record, so this is a read of accumulated results, not a
+// pass over the capture. Predictions are byte-identical to the
+// post-hoc Predictor.Infer over Monitor.ResponseRecords. The returned
+// slice is backed by scratch owned by the attack: it is valid until
+// the next Arm call and must not be retained across trials.
 func (a *Attack) Infer() []Inference {
-	a.infs = a.Predictor.inferAppend(a.infs[:0], a.Monitor.ResponseRecords())
-	for i := range a.infs {
-		if a.infs[i].Object != nil {
+	infs := a.stream.Inferences()
+	for i := range infs {
+		if infs[i].Object != nil {
 			a.Obs.Inc(obs.CPredIdentified)
 		} else {
 			a.Obs.Inc(obs.CPredUnknown)
 		}
 	}
-	return a.infs
+	return infs
 }

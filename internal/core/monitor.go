@@ -30,6 +30,11 @@ type Monitor struct {
 	// stopping its targeted drops).
 	OnResetBurst func()
 
+	// OnRecord, when non-nil, is invoked with every parsed record
+	// observation in arrival order, right after it is appended to
+	// Records — the streaming inference engine's tap point.
+	OnRecord func(trace.RecordObs)
+
 	// ResetMinCipher is the ciphertext length above which a client
 	// record is classified as a reset burst. Default 300.
 	ResetMinCipher int
@@ -65,6 +70,7 @@ func (m *Monitor) Reset() {
 	m.Records = m.Records[:0]
 	m.OnGet = nil
 	m.OnResetBurst = nil
+	m.OnRecord = nil
 	m.parserC2S.Reset()
 	m.parserS2C.Reset()
 	m.getCount = 0
@@ -88,6 +94,9 @@ func (m *Monitor) Tap(dir trace.Direction, b []byte) {
 			Length:      h.Length,
 		}
 		m.Records = append(m.Records, obs)
+		if m.OnRecord != nil {
+			m.OnRecord(obs)
+		}
 		if dir == trace.ClientToServer && obs.IsAppData() {
 			m.classifyClientRecord(h)
 		}
@@ -129,7 +138,7 @@ func (m *Monitor) GetCount() int { return m.getCount }
 func (m *Monitor) ResponseRecords() []trace.RecordObs {
 	out := m.respScratch[:0]
 	for _, r := range m.Records {
-		if r.Dir == trace.ServerToClient && r.IsAppData() {
+		if r.IsResponseData() {
 			out = append(out, r)
 		}
 	}

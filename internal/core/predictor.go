@@ -1,8 +1,10 @@
 package core
 
 import (
+	"sort"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/tlsrec"
 	"repro/internal/trace"
 	"repro/internal/website"
@@ -50,6 +52,22 @@ type Predictor struct {
 	// by a stream reset, leaves a run that must not absorb the next
 	// object). Default 600ms.
 	IdleGap time.Duration
+
+	// table is the compiled size→object index: entries sorted by size
+	// with duplicate sizes collapsed to the lowest-index object, so
+	// matchPrimed's two binary-search neighbors reproduce the linear
+	// scan's first-wins tie-break exactly. tableSite keys the cache:
+	// the survey builder only changes object sizes by rebuilding the
+	// site (a new pointer), so pointer identity is a sound key.
+	table     []sizeEntry
+	tableSite *website.Site
+}
+
+// sizeEntry is one compiled size-table row.
+type sizeEntry struct {
+	size int
+	idx  int // original Site.Objects index, the tie-break order
+	obj  *website.Object
 }
 
 // NewPredictor builds a predictor with protocol defaults for site.
@@ -132,7 +150,10 @@ func (p *Predictor) inferAppend(out []Inference, records []trace.RecordObs) []In
 }
 
 // match finds the site object whose size is within tolerance, or nil.
-// Among candidates the closest wins.
+// Among candidates the closest wins; on an exact diff tie the
+// lowest-index object wins (the strict < keeps the first seen). This
+// linear scan is the reference semantics — matchPrimed must agree on
+// every input (TestPrimedMatchEquivalence).
 func (p *Predictor) match(est int) *website.Object {
 	var best *website.Object
 	bestDiff := p.Tolerance + 1
@@ -147,6 +168,116 @@ func (p *Predictor) match(est int) *website.Object {
 		}
 	}
 	return best
+}
+
+// Prime compiles the size table for the current Site if it is not
+// already compiled. Matching after Prime is a two-neighbor binary
+// search instead of a full scan; the batched and streaming inference
+// paths call it once per site and amortize the sort across the K
+// trials a worker runs there. Infer itself never requires priming —
+// the reference path stays scan-based so equivalence tests retain an
+// independent oracle.
+func (p *Predictor) Prime() {
+	if p.tableSite == p.Site && p.table != nil {
+		return
+	}
+	p.table = p.table[:0]
+	for i := range p.Site.Objects {
+		o := &p.Site.Objects[i]
+		p.table = append(p.table, sizeEntry{size: o.Size, idx: i, obj: o})
+	}
+	sort.Slice(p.table, func(i, j int) bool {
+		a, b := p.table[i], p.table[j]
+		if a.size != b.size {
+			return a.size < b.size
+		}
+		return a.idx < b.idx
+	})
+	// Collapse duplicate sizes to the lowest original index — the
+	// entry the linear scan's strict < would have kept.
+	out := p.table[:0]
+	for _, e := range p.table {
+		if len(out) > 0 && out[len(out)-1].size == e.size {
+			continue
+		}
+		out = append(out, e)
+	}
+	p.table = out
+	p.tableSite = p.Site
+}
+
+// matchPrimed is match against the compiled table: only the floor and
+// ceiling neighbors of est can hold the minimal diff, and on an exact
+// tie between them the lower original index wins, replicating the
+// scan order. Callers must Prime first.
+func (p *Predictor) matchPrimed(est int) *website.Object {
+	t := p.table
+	// First entry with size >= est.
+	lo, hi := 0, len(t)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t[mid].size < est {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	var best *website.Object
+	bestDiff := p.Tolerance + 1
+	bestIdx := 0
+	if lo < len(t) {
+		if diff := t[lo].size - est; diff < bestDiff {
+			best, bestDiff, bestIdx = t[lo].obj, diff, t[lo].idx
+		}
+	}
+	if lo > 0 {
+		e := t[lo-1]
+		diff := est - e.size
+		if diff <= p.Tolerance && (diff < bestDiff || (diff == bestDiff && e.idx < bestIdx)) {
+			best = e.obj
+		}
+	}
+	return best
+}
+
+// segmentConfig is the predictor's tuning expressed as the streaming
+// segmentation engine's config. Both inference paths derive their
+// constants from here, so they cannot drift.
+func (p *Predictor) segmentConfig() analysis.SegmentConfig {
+	return analysis.SegmentConfig{
+		FullCipher:        p.FullCipher,
+		MinDataCipher:     p.MinDataCipher,
+		PerRecordOverhead: tlsrec.Overhead + 9,
+		IdleGap:           p.IdleGap,
+	}
+}
+
+// InferBatch classifies K record streams against one site, priming
+// the size table once and reusing the segmentation state across the
+// batch. Results are element-wise identical to calling Infer on each
+// stream. Use it when a worker runs several trials of the same site
+// (the survey's SiteTrials repetitions): the per-call table setup
+// that Infer's scan path pays per inference is amortized to one sort
+// per site.
+func (p *Predictor) InferBatch(streams [][]trace.RecordObs) [][]Inference {
+	p.Prime()
+	out := make([][]Inference, len(streams))
+	var seg analysis.Segmenter
+	for i, recs := range streams {
+		seg.Reset(p.segmentConfig())
+		var infs []Inference
+		for _, r := range recs {
+			run, ok := seg.Feed(r)
+			if !ok {
+				continue
+			}
+			inf := Inference{EstSize: run.Size, Start: run.Start, End: run.End, Records: run.Records}
+			inf.Object = p.matchPrimed(run.Size)
+			infs = append(infs, inf)
+		}
+		out[i] = infs
+	}
+	return out
 }
 
 // PredictEmblemOrder extracts the predicted survey outcome: the

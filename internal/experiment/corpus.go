@@ -170,7 +170,9 @@ func (w *World) RunSiteTrial(gs *website.GeneratedSite, p CorpusTrialParams) Sur
 	if lt := sess.Client.CompletedAt(lastID); lt > 0 {
 		res.LoadTimeMs = float64(lt) / float64(time.Millisecond)
 	}
-	copies := analysis.CopyTransmissions(sess.GroundTruth)
+	// The survey result keeps no transmission pointers, so the
+	// zero-alloc arena-reused variant is safe here.
+	copies := w.an.CopiesReused(sess.GroundTruth)
 	res.TargetClean, res.TargetCleanOrig = analysis.CleanCopy(copies, targetID)
 	res.TargetDegree = analysis.OriginalDegree(copies, targetID)
 
@@ -289,8 +291,15 @@ func (sw *surveyWorker) run(p CorpusTrialParams) SurveyResult {
 }
 
 // Run executes the campaign through pipeline.Run with the given
-// pipeline configuration and exporters.
+// pipeline configuration and exporters. Unless the caller set one,
+// the worker claim batch defaults to SiteTrials, so all repetitions
+// of a site run on the worker whose cache already holds that site's
+// model and primed size table (batching never changes the exported
+// bytes, only which worker runs which trial).
 func (s *Survey) Run(cfg pipeline.Config, exporters ...pipeline.Exporter[CorpusTrialParams, SurveyResult]) (pipeline.Summary, error) {
+	if cfg.Batch == 0 {
+		cfg.Batch = s.cfg.SiteTrials
+	}
 	newState := func() *surveyWorker {
 		w := NewWorld()
 		if s.metrics != nil {

@@ -27,6 +27,10 @@ type World struct {
 	sess *h2sim.Session
 	atk  *core.Attack
 
+	// an scores ground-truth traces with reused indexing scratch (the
+	// analysis-side arena mirror of the session stack).
+	an analysis.Analyzer
+
 	// pushPaths caches the PushEmblems promise list; the emblem paths
 	// are fixed by the site model, so it is computed once.
 	pushPaths []string
@@ -136,7 +140,10 @@ func (w *World) RunTrial(p TrialParams) TrialResult {
 		LoadTime:        sess.Client.CompletedAt(45), // the trailing beacon
 	}
 	res.Requests = sess.Client.Requests
-	res.Copies = analysis.CopyTransmissions(sess.GroundTruth)
+	// Copies escape the trial (the result is collected), so they are
+	// freshly allocated; only the analyzer's indexing scratch is
+	// reused.
+	res.Copies = w.an.Copies(sess.GroundTruth)
 	res.HTMLCleanAny, res.HTMLCleanOrig = analysis.CleanCopy(res.Copies, website.ResultHTMLID)
 	res.HTMLDegree = analysis.OriginalDegree(res.Copies, website.ResultHTMLID)
 

@@ -5,7 +5,11 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/h2sim"
+	"repro/internal/obs"
 	"repro/internal/tcpsim"
+	"repro/internal/trace"
+	"repro/internal/website"
 )
 
 // TestWorldMatchesFreshTrial is the reuse-correctness contract of the
@@ -103,5 +107,42 @@ func TestWorldTrialAllocs(t *testing.T) {
 	// pre-world baseline was ~2974.
 	if allocs > 120 {
 		t.Errorf("reused-world full-attack trial allocates %.0f objects/run, budget 120", allocs)
+	}
+}
+
+// TestStreamingInferenceZeroAllocs pins the streaming inference
+// engine's steady state to zero allocations per trial: once the
+// inference buffer and the primed size table have reached their
+// high-water marks, a full Start → Observe-every-record → Inferences
+// cycle over a real trial's record stream must not allocate. This is
+// the inference-side counterpart of TestWorldTrialAllocs.
+func TestStreamingInferenceZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Capture a real full-attack trial's record stream.
+	site := website.Survey(website.IdentityPermutation())
+	sess := h2sim.NewSession(site, h2sim.SessionConfig{Seed: 42, RandomizeAmbient: true})
+	atk := core.InstallPassive(sess)
+	sess.Run()
+	records := append([]trace.RecordObs(nil), atk.Monitor.Records...)
+	if len(records) == 0 {
+		t.Fatal("captured no records")
+	}
+
+	p := core.NewPredictor(site)
+	var eng core.StreamInference
+	cycle := func() {
+		eng.Start(p, obs.Sink{})
+		for _, r := range records {
+			eng.Observe(r)
+		}
+		if len(eng.Inferences()) == 0 {
+			t.Fatal("streaming engine classified nothing")
+		}
+	}
+	cycle() // warm: grow the inference buffer, prime the table
+	if allocs := testing.AllocsPerRun(20, cycle); allocs != 0 {
+		t.Errorf("steady-state streaming inference allocates %.0f objects/trial, want 0", allocs)
 	}
 }

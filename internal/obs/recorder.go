@@ -45,6 +45,11 @@ const (
 	// EvAtkPhase: the adversary advanced an attack phase. A = phase
 	// number entered (2 or 3).
 	EvAtkPhase
+	// EvPredRun: the streaming inference engine closed a record run
+	// (the delimiting sub-full record arrived). A = estimated object
+	// size in bytes, B = matched object ID, or -1 when no size-table
+	// entry was within tolerance.
+	EvPredRun
 
 	eventKindCount // number of event kinds; must stay last
 )
@@ -61,6 +66,7 @@ var eventKindNames = [eventKindCount]string{
 	EvH2ObjComplete:  "h2.obj_complete",
 	EvH2SrvDupCopy:   "h2.srv_dup_copy",
 	EvAtkPhase:       "attack.phase",
+	EvPredRun:        "attack.pred.run",
 }
 
 // String returns the event kind's export name.

@@ -61,6 +61,14 @@ type Config struct {
 	// Zero selects the runner default, max(64, 4*workers).
 	Window int
 
+	// Batch is the number of consecutive trial indices one worker
+	// claims at a time (internal/runner.StreamOptions.Batch). Set it
+	// to the campaign's parameter period — e.g. the survey's
+	// SiteTrials — so per-worker caches (built sites, primed size
+	// tables) serve the whole period instead of being diluted across
+	// workers. Zero claims one index. Never affects exported bytes.
+	Batch int
+
 	// OnProgress receives completion/ETA snapshots (serialized).
 	OnProgress func(runner.Progress)
 
@@ -205,6 +213,7 @@ func Run[P, R, S any](cfg Config, gen Generator[P], newState func() S, trial fun
 		Options: runner.Options{Workers: cfg.Workers, OnProgress: cfg.OnProgress, OnTrialDone: cfg.OnTrialDone},
 		Start:   sum.Start,
 		Window:  cfg.Window,
+		Batch:   cfg.Batch,
 	}, newState, func(s S, i int) R {
 		return trial(s, gen.Params(i))
 	}, func(i int, result R, err *runner.TrialError) bool {

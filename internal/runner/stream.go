@@ -25,6 +25,17 @@ type StreamOptions struct {
 	// selects max(64, 4*workers). The window never affects the
 	// emitted stream, only scheduling.
 	Window int
+
+	// Batch is the number of consecutive trial indices a worker
+	// claims at a time. Chunks are aligned: every claim is exactly
+	// Batch indices (the final one may be the remainder), so a
+	// campaign whose parameters repeat with period Batch — the
+	// survey's SiteTrials repetitions of one site — keeps each
+	// period on one worker, letting per-worker state (site cache,
+	// primed size tables) amortize across it. Zero or negative
+	// claims one index. Batching never affects the emitted stream,
+	// only which worker runs which trial.
+	Batch int
 }
 
 // windowFor resolves the admission window for a worker count.
@@ -96,6 +107,13 @@ func StreamWith[S, T any](n int, opts StreamOptions, newState func() S, fn func(
 		ring:     make([]streamSlot[T], opts.windowFor(workers)),
 	}
 	sw.cond = sync.NewCond(&sw.mu)
+	batch := opts.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > len(sw.ring) {
+		batch = len(sw.ring)
+	}
 
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -104,12 +122,16 @@ func StreamWith[S, T any](n int, opts StreamOptions, newState func() S, fn func(
 			defer wg.Done()
 			ws := newState()
 			for {
-				i, ok := sw.claim()
+				start, count, ok := sw.claim(batch)
 				if !ok {
 					return
 				}
-				result, failure, elapsed := runTimed(st, i, ws, fn)
-				sw.deliver(i, result, failure, elapsed, emit)
+				for i := start; i < start+count; i++ {
+					result, failure, elapsed := runTimed(st, i, ws, fn)
+					if !sw.deliver(i, result, failure, elapsed, emit) {
+						return // stream stopped; abandon the chunk
+					}
+				}
 			}
 		}()
 	}
@@ -135,21 +157,31 @@ type streamState[T any] struct {
 	ring     []streamSlot[T] // reorder buffer, indexed by index % len(ring)
 }
 
-// claim hands the calling worker the next trial index, blocking while
-// the reorder window is full. Returns ok=false when the stream is
-// exhausted or stopped.
-func (sw *streamState[T]) claim() (int, bool) {
+// claim hands the calling worker the next chunk of trial indices,
+// blocking while the reorder window lacks room for the whole chunk
+// (so a claimed chunk always fits the ring — batch is pre-clamped to
+// the ring size). Chunk ends are aligned to absolute multiples of
+// batch, so a campaign resumed mid-period re-aligns after one short
+// chunk and every later claim covers exactly one period. Returns
+// ok=false when the stream is exhausted or stopped.
+func (sw *streamState[T]) claim(batch int) (start, count int, ok bool) {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
-	for !sw.stopped && sw.next < sw.n && sw.next >= sw.head+len(sw.ring) {
+	for {
+		if sw.stopped || sw.next >= sw.n {
+			return 0, 0, false
+		}
+		want := batch - sw.next%batch
+		if rem := sw.n - sw.next; rem < want {
+			want = rem
+		}
+		if sw.next+want <= sw.head+len(sw.ring) {
+			start = sw.next
+			sw.next += want
+			return start, want, true
+		}
 		sw.cond.Wait()
 	}
-	if sw.stopped || sw.next >= sw.n {
-		return 0, false
-	}
-	i := sw.next
-	sw.next++
-	return i, true
 }
 
 // runTimed executes one trial with panic capture, measuring its wall
@@ -166,13 +198,15 @@ func runTimed[S, T any](st *state, i int, ws S, fn func(S, int) T) (result T, fa
 }
 
 // deliver parks one completed trial and emits every contiguous
-// completed index from the head of the window.
-func (sw *streamState[T]) deliver(i int, result T, failure *TrialError, elapsed time.Duration, emit func(int, T, *TrialError) bool) {
+// completed index from the head of the window. It reports whether the
+// stream is still running, so a worker holding a multi-trial chunk
+// knows to abandon the rest.
+func (sw *streamState[T]) deliver(i int, result T, failure *TrialError, elapsed time.Duration, emit func(int, T, *TrialError) bool) bool {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
 	sw.runState.finishOne(i, failure, elapsed)
 	if sw.stopped {
-		return
+		return false
 	}
 	slot := &sw.ring[i%len(sw.ring)]
 	slot.result, slot.err, slot.done = result, failure, true
@@ -196,4 +230,5 @@ func (sw *streamState[T]) deliver(i int, result T, failure *TrialError, elapsed 
 	// Either the head advanced (windowed-out workers can claim again)
 	// or the stream stopped (waiters must exit).
 	sw.cond.Broadcast()
+	return !sw.stopped
 }

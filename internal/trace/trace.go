@@ -75,6 +75,15 @@ type RecordObs struct {
 // 'ssl.record.content_type==23' display filter).
 func (r RecordObs) IsAppData() bool { return r.ContentType == 23 }
 
+// IsResponseData reports whether the record is server→client
+// application data — the subset the size-inference side channel
+// consumes. The monitor's batch filter and the streaming segmentation
+// engine share this predicate so the two inference paths see exactly
+// the same records.
+func (r RecordObs) IsResponseData() bool {
+	return r.Dir == ServerToClient && r.IsAppData()
+}
+
 // FrameEvent is ground truth recorded by the instrumented server: one
 // HTTP/2 DATA (or HEADERS) frame handed to the transport, attributed
 // to the object it belongs to. The adversary never sees these; the
