@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain go tooling underneath.
 
-.PHONY: ci test bench bench-compare bench-profile check-golden experiments profile survey-smoke
+.PHONY: ci test bench bench-compare bench-profile check-golden experiments profile survey-smoke shard-smoke
 
 # The CI gate: vet + build + race-enabled tests (scripts/ci.sh).
 ci:
@@ -57,6 +57,30 @@ survey-smoke:
 	go run ./cmd/h2attack -survey -corpus 40 -export summary,jsonl=campaigns/smoke/out.jsonl \
 		-checkpoint campaigns/smoke/ck.json -checkpoint-every 7
 	cmp campaigns/smoke/ref.jsonl campaigns/smoke/out.jsonl && echo "survey-smoke OK"
+
+# Scale-out smoke: the same campaign (two sweeps + a small survey)
+# run single-process and as three shard processes via scripts/shard.sh
+# must produce byte-identical tables, survey JSONL, and -metrics-json.
+# Deliberately uses different -j for the two runs: output must not
+# depend on worker count either. Mirrors the CI shard-merge-smoke job;
+# scratch lives in campaigns/ (gitignored).
+shard-smoke:
+	@rm -rf campaigns/shardsmoke && mkdir -p campaigns/shardsmoke
+	go run ./cmd/h2attack -table1 -delay -trials 6 -seed 5 -j 3 \
+		-metrics-json campaigns/shardsmoke/single.metrics.json \
+		-survey -corpus 24 -site-trials 2 \
+		-export summary,jsonl=campaigns/shardsmoke/single.jsonl \
+		> campaigns/shardsmoke/single.out
+	sh scripts/shard.sh 3 campaigns/shardsmoke/bundles \
+		-table1 -delay -trials 6 -seed 5 -j 2 \
+		-metrics-json campaigns/shardsmoke/merged.metrics.json \
+		-survey -corpus 24 -site-trials 2 \
+		-export summary,jsonl=campaigns/shardsmoke/merged.jsonl \
+		> campaigns/shardsmoke/merged.out
+	cmp campaigns/shardsmoke/single.out campaigns/shardsmoke/merged.out
+	cmp campaigns/shardsmoke/single.jsonl campaigns/shardsmoke/merged.jsonl
+	cmp campaigns/shardsmoke/single.metrics.json campaigns/shardsmoke/merged.metrics.json
+	@echo "shard-smoke OK"
 
 # Regenerate the reference run recorded in experiments_output.txt
 # (deterministic: identical at any -j; see EXPERIMENTS.md). Written to

@@ -17,6 +17,7 @@ package repro
 // percentages are identical at any worker count.
 
 import (
+	"fmt"
 	"strconv"
 	"testing"
 	"time"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/h2"
 	"repro/internal/h2sim"
 	"repro/internal/obs"
+	"repro/internal/runner"
 	"repro/internal/trace"
 	"repro/internal/website"
 )
@@ -393,6 +395,39 @@ func BenchmarkInferBatch(b *testing.B) {
 		}
 	}
 	reportTrialsPerSec(b, k)
+}
+
+// BenchmarkStreamDispatch isolates the worker pool's dispatch and
+// delivery overhead with a near-free trial body: what the streaming
+// runner costs per trial when the trial itself does no work. Batch=64
+// claims a chunk of consecutive indices, buffers its results worker-
+// locally, and delivers them under one lock acquisition; Batch=1 is
+// the per-trial locking path. The spread between the two at high -j
+// is the coordination cost the chunk-buffered delivery removes.
+func BenchmarkStreamDispatch(b *testing.B) {
+	const trials = 1 << 14
+	for _, j := range []int{1, 8, 16} {
+		for _, batch := range []int{1, 64} {
+			b.Run(fmt.Sprintf("j%d/batch%d", j, batch), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					total := 0
+					runner.StreamWith(trials, runner.StreamOptions{
+						Options: runner.Options{Workers: j},
+						Batch:   batch,
+					}, func() struct{} { return struct{}{} },
+						func(struct{}, int) int { return 1 },
+						func(idx int, r int, err *runner.TrialError) bool {
+							total += r
+							return true
+						})
+					if total != trials {
+						b.Fatalf("delivered %d trials, want %d", total, trials)
+					}
+				}
+				reportTrialsPerSec(b, trials)
+			})
+		}
+	}
 }
 
 func itoa(n int) string { return strconv.Itoa(n) }

@@ -24,6 +24,19 @@
 // the same command to resume from the checkpoint — the final exporter
 // output is byte-identical to an uninterrupted run.
 //
+// Any selection of campaigns also splits across OS processes: each
+// process runs one contiguous slice of every selected campaign into a
+// self-describing bundle directory, and a merge run reassembles the
+// bundles into output byte-identical to a single process:
+//
+//	h2attack -all -shard 1/3 -shard-dir s1     # likewise 2/3, 3/3
+//	h2attack -all -merge s1,s2,s3
+//
+// scripts/shard.sh wraps the fan-out and merge in one command. An
+// interrupted shard resumes when rerun (bundles carry per-campaign
+// checkpoints); -merge refuses incomplete bundles and bundles whose
+// campaign fingerprints do not match the merge run's own flags.
+//
 // Use -trials and -seed to control the sweep size and reproducibility.
 // Sweeps fan their trials across -j worker goroutines (default: all
 // CPUs); the printed tables are identical at every -j because trial
@@ -76,6 +89,10 @@ func run() int {
 		progress   = flag.Bool("progress", false, "report sweep completion and ETA on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+
+		shardSpec = flag.String("shard", "", "run slice i/N (1-based) of every selected campaign and write a bundle into -shard-dir")
+		shardDir  = flag.String("shard-dir", "", "shard: bundle output directory (holds JSONL slices, obs snapshots, checkpoints, manifest)")
+		mergeDirs = flag.String("merge", "", "merge completed shard bundles (comma-separated directories); output is byte-identical to a single-process run")
 
 		survey     = flag.Bool("survey", false, "run a survey campaign against a synthetic site corpus")
 		corpus     = flag.Int("corpus", 1000, "survey: number of synthetic sites")
@@ -143,6 +160,50 @@ func run() int {
 	if *all {
 		*table1, *fig5, *drops, *table2, *delay, *defenses = true, true, true, true, true, true
 	}
+	// The fixed sweeps are driven through their shardable definitions
+	// (experiment.Sweeps) so single-process, shard, and merge modes all
+	// agree on campaign names, fingerprints, and rendered tables.
+	selected := map[string]bool{
+		"table1": *table1, "fig5": *fig5, "drops": *drops,
+		"table2": *table2, "delay": *delay, "defenses": *defenses,
+	}
+	var defs []experiment.SweepDef
+	for _, d := range experiment.Sweeps(*trials, *seed) {
+		if selected[d.Name] {
+			defs = append(defs, d)
+		}
+	}
+
+	if *shardSpec != "" && *mergeDirs != "" {
+		fmt.Fprintln(os.Stderr, "h2attack: -shard and -merge are mutually exclusive")
+		return 2
+	}
+	if *shardSpec != "" || *mergeDirs != "" {
+		smf := shardModeFlags{
+			defs:            defs,
+			survey:          *survey,
+			corpus:          *corpus,
+			siteTrials:      *siteTrials,
+			seed:            *seed,
+			jobs:            *jobs,
+			progress:        *progress,
+			metrics:         *metrics,
+			metricsOut:      *metricsOut,
+			export:          *export,
+			checkpointEvery: *ckptEvery,
+			maxTrials:       *maxTrials,
+		}
+		if *shardSpec != "" {
+			if err := runShardMode(*shardSpec, *shardDir, smf); err != nil {
+				fmt.Fprintf(os.Stderr, "h2attack: -shard: %v\n", err)
+				return 1
+			}
+		} else if err := runMergeMode(*mergeDirs, smf); err != nil {
+			fmt.Fprintf(os.Stderr, "h2attack: -merge: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 	ran := false
 	snaps := map[string]*obs.Snapshot{}
 	// runSweep executes one sweep, attaching a fresh metrics registry
@@ -166,34 +227,9 @@ func run() int {
 		}
 		ran = true
 	}
-	if *table1 {
-		runSweep("table1", func(opts []experiment.Option) string {
-			return experiment.FormatTableI(experiment.TableI(*trials, *seed, opts...))
-		})
-	}
-	if *fig5 {
-		runSweep("fig5", func(opts []experiment.Option) string {
-			return experiment.FormatFig5(experiment.Fig5(*trials, *seed, opts...))
-		})
-	}
-	if *drops {
-		runSweep("drops", func(opts []experiment.Option) string {
-			return experiment.FormatDropSweep(experiment.DropSweep(*trials, *seed, opts...))
-		})
-	}
-	if *table2 {
-		runSweep("table2", func(opts []experiment.Option) string {
-			return experiment.FormatTableII(experiment.TableII(*trials, *seed, opts...))
-		})
-	}
-	if *delay {
-		runSweep("delay", func(opts []experiment.Option) string {
-			return experiment.FormatDelaySweep(experiment.DelaySweep(*trials, *seed, opts...))
-		})
-	}
-	if *defenses {
-		runSweep("defenses", func(opts []experiment.Option) string {
-			return experiment.FormatDefenses(experiment.Defenses(*trials, *seed, opts...))
+	for _, d := range defs {
+		runSweep(d.Name, func(opts []experiment.Option) string {
+			return d.Format(d.Run(opts...))
 		})
 	}
 	if *survey {

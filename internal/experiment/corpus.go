@@ -115,6 +115,12 @@ func objectBucket(n int) int {
 // Spec.TargetID) and the predictor scores against the site's own size
 // table.
 func (w *World) RunSiteTrial(gs *website.GeneratedSite, p CorpusTrialParams) SurveyResult {
+	// Trial latency feeds the worker's own shard, lock-free (see
+	// World.RunTrial).
+	var wallStart time.Time
+	if w.shard != nil {
+		wallStart = time.Now()
+	}
 	w.rng.Seed(p.Seed)
 	path, _ := ambient(w.rng) // think time is baked into the site's schedule
 	site := gs.Site
@@ -195,6 +201,9 @@ func (w *World) RunSiteTrial(gs *website.GeneratedSite, p CorpusTrialParams) Sur
 	}
 	if res.PageComplete {
 		sink.Inc(obs.CTrialComplete)
+	}
+	if w.shard != nil {
+		w.shard.ObserveTrialWall(time.Since(wallStart))
 	}
 	return res
 }
@@ -303,13 +312,11 @@ func (s *Survey) Run(cfg pipeline.Config, exporters ...pipeline.Exporter[CorpusT
 	newState := func() *surveyWorker {
 		w := NewWorld()
 		if s.metrics != nil {
+			// Trial latency lands in the worker's own shard (see
+			// World.RunSiteTrial); no per-trial registry lock.
 			w.SetMetrics(s.metrics.NewShard())
 		}
 		return &surveyWorker{w: w, s: s}
-	}
-	if s.metrics != nil && cfg.OnTrialDone == nil {
-		reg := s.metrics
-		cfg.OnTrialDone = func(_ int, elapsed time.Duration) { reg.ObserveTrialWall(elapsed) }
 	}
 	return pipeline.Run(cfg, s, newState,
 		func(sw *surveyWorker, p CorpusTrialParams) SurveyResult { return sw.run(p) },

@@ -127,7 +127,10 @@ type TrialResult struct {
 	LoadTime        time.Duration
 
 	// Copies gives the ground-truth transmissions for deeper digs.
-	Copies []*analysis.CopyTransmission
+	// Excluded from the JSON form (sharded sweeps serialize results
+	// across process boundaries): no sweep aggregator reads them, and
+	// they dwarf the rest of the record.
+	Copies []*analysis.CopyTransmission `json:"-"`
 
 	// Requests is the client's request log (issue times, objects,
 	// re-issues), used for Table II's inter-request timing rows.

@@ -1,8 +1,6 @@
 package experiment
 
 import (
-	"time"
-
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/runner"
@@ -77,21 +75,21 @@ func setSegments(opts []Option, labels ...string) {
 func runTrials(n int, opts []Option, mk func(i int) TrialParams) []TrialResult {
 	cfg := parseOpts(opts)
 	newState := NewWorld
-	var onTrialDone func(int, time.Duration)
 	if cfg.metrics != nil {
 		reg := cfg.metrics
 		newState = func() *World {
 			w := NewWorld()
+			// The world times its own trials into the shard's lock-free
+			// wall histogram; no per-trial registry lock on the
+			// dispatch path.
 			w.SetMetrics(reg.NewShard())
 			return w
 		}
-		onTrialDone = func(_ int, elapsed time.Duration) { reg.ObserveTrialWall(elapsed) }
 	}
 	collect := pipeline.NewCollector[TrialParams, TrialResult](n)
 	sum, err := pipeline.Run(pipeline.Config{
-		Workers:     cfg.workers,
-		OnProgress:  cfg.onProgress,
-		OnTrialDone: onTrialDone,
+		Workers:    cfg.workers,
+		OnProgress: cfg.onProgress,
 	}, pipeline.Fixed[TrialParams]{CampaignName: "sweep", N: n, Fn: mk},
 		newState, (*World).RunTrial, collect)
 	if err != nil {

@@ -23,15 +23,33 @@ type TableIRow struct {
 // jitter on the result HTML's multiplexing and on retransmission
 // volume. trials page loads per jitter value (the paper used 100).
 func TableI(trials int, seed0 int64, opts ...Option) []TableIRow {
+	return tableIRows(trials, tableIDef(trials, seed0).Run(opts...))
+}
+
+// tableIDef is Table I as a shardable sweep definition.
+func tableIDef(trials int, seed0 int64) SweepDef {
 	jitters := []time.Duration{0, 25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond}
-	setSegments(opts, "jitter=0ms", "jitter=25ms", "jitter=50ms", "jitter=100ms")
-	results := runTrials(len(jitters)*trials, opts, func(i int) TrialParams {
-		p := TrialParams{Seed: seed0 + int64(i%trials), Mode: ModeJitter, Spacing: jitters[i/trials], ObsSegment: i / trials}
-		if p.Spacing == 0 {
-			p.Mode = ModePassive
-		}
-		return p
-	})
+	return SweepDef{
+		Name:     "table1",
+		Trials:   len(jitters) * trials,
+		Segments: []string{"jitter=0ms", "jitter=25ms", "jitter=50ms", "jitter=100ms"},
+		Params: func(i int) TrialParams {
+			p := TrialParams{Seed: seed0 + int64(i%trials), Mode: ModeJitter, Spacing: jitters[i/trials], ObsSegment: i / trials}
+			if p.Spacing == 0 {
+				p.Mode = ModePassive
+			}
+			return p
+		},
+		Format: func(results []TrialResult) string {
+			return FormatTableI(tableIRows(trials, results))
+		},
+		fingerprint: sweepFingerprint("table1", trials, seed0),
+	}
+}
+
+// tableIRows aggregates a complete Table I result set.
+func tableIRows(trials int, results []TrialResult) []TableIRow {
+	jitters := []time.Duration{0, 25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond}
 	rows := make([]TableIRow, 0, len(jitters))
 	baseRetrans := 0
 	for ji, j := range jitters {
@@ -100,22 +118,40 @@ const Fig5Scale = 12_500
 // spacing active, extending the section IV-B setup) versus
 // retransmissions and success cases.
 func Fig5(trials int, seed0 int64, opts ...Option) []Fig5Row {
+	return fig5Rows(trials, fig5Def(trials, seed0).Run(opts...))
+}
+
+// fig5Def is Figure 5 as a shardable sweep definition.
+func fig5Def(trials int, seed0 int64) SweepDef {
 	labels := []int{1000, 800, 500, 100, 1}
 	segs := make([]string, len(labels))
 	for i, l := range labels {
 		segs[i] = fmt.Sprintf("bw=%dMbps", l)
 	}
-	setSegments(opts, segs...)
-	results := runTrials(len(labels)*trials, opts, func(i int) TrialParams {
-		return TrialParams{
-			Seed:       seed0 + int64(i%trials),
-			Mode:       ModeJitterThrottle,
-			Spacing:    50 * time.Millisecond,
-			Bandwidth:  int64(labels[i/trials]) * Fig5Scale,
-			TimeLimit:  45 * time.Second,
-			ObsSegment: i / trials,
-		}
-	})
+	return SweepDef{
+		Name:     "fig5",
+		Trials:   len(labels) * trials,
+		Segments: segs,
+		Params: func(i int) TrialParams {
+			return TrialParams{
+				Seed:       seed0 + int64(i%trials),
+				Mode:       ModeJitterThrottle,
+				Spacing:    50 * time.Millisecond,
+				Bandwidth:  int64(labels[i/trials]) * Fig5Scale,
+				TimeLimit:  45 * time.Second,
+				ObsSegment: i / trials,
+			}
+		},
+		Format: func(results []TrialResult) string {
+			return FormatFig5(fig5Rows(trials, results))
+		},
+		fingerprint: sweepFingerprint("fig5", trials, seed0),
+	}
+}
+
+// fig5Rows aggregates a complete Figure 5 result set.
+func fig5Rows(trials int, results []TrialResult) []Fig5Row {
+	labels := []int{1000, 800, 500, 100, 1}
 	rows := make([]Fig5Row, 0, len(labels))
 	for li, label := range labels {
 		bw := int64(label) * Fig5Scale
@@ -183,16 +219,34 @@ type DropRow struct {
 // stream resets. The paper reports ~90% success at an 80% drop rate
 // and a broken connection beyond it.
 func DropSweep(trials int, seed0 int64, opts ...Option) []DropRow {
+	return dropRows(trials, dropDef(trials, seed0).Run(opts...))
+}
+
+// dropDef is the §IV-D drop sweep as a shardable sweep definition.
+func dropDef(trials int, seed0 int64) SweepDef {
 	rates := []float64{0, 0.4, 0.8, 0.95}
-	setSegments(opts, "drop=0%", "drop=40%", "drop=80%", "drop=95%")
-	results := runTrials(len(rates)*trials, opts, func(i int) TrialParams {
-		cfg := core.PaperAttack()
-		cfg.DropRate = rates[i/trials]
-		if cfg.DropRate == 0 {
-			cfg.DropDuration = time.Millisecond // phases advance, drops are moot
-		}
-		return TrialParams{Seed: seed0 + int64(i%trials), Mode: ModeFullAttack, Attack: cfg, ObsSegment: i / trials}
-	})
+	return SweepDef{
+		Name:     "drops",
+		Trials:   len(rates) * trials,
+		Segments: []string{"drop=0%", "drop=40%", "drop=80%", "drop=95%"},
+		Params: func(i int) TrialParams {
+			cfg := core.PaperAttack()
+			cfg.DropRate = rates[i/trials]
+			if cfg.DropRate == 0 {
+				cfg.DropDuration = time.Millisecond // phases advance, drops are moot
+			}
+			return TrialParams{Seed: seed0 + int64(i%trials), Mode: ModeFullAttack, Attack: cfg, ObsSegment: i / trials}
+		},
+		Format: func(results []TrialResult) string {
+			return FormatDropSweep(dropRows(trials, results))
+		},
+		fingerprint: sweepFingerprint("drops", trials, seed0),
+	}
+}
+
+// dropRows aggregates a complete drop-sweep result set.
+func dropRows(trials int, results []TrialResult) []DropRow {
+	rates := []float64{0, 0.4, 0.8, 0.95}
 	rows := make([]DropRow, 0, len(rates))
 	for ri, rate := range rates {
 		row := DropRow{DropRate: rate}
@@ -253,14 +307,31 @@ type TableIIResult struct {
 
 // TableII reproduces the paper's Table II with the composed attack.
 func TableII(trials int, seed0 int64, opts ...Option) TableIIResult {
+	return tableIIFromResults(trials, tableIIDef(trials, seed0).Run(opts...))
+}
+
+// tableIIDef is Table II as a shardable sweep definition.
+func tableIIDef(trials int, seed0 int64) SweepDef {
+	return SweepDef{
+		Name:     "table2",
+		Trials:   trials,
+		Segments: []string{"full-attack"},
+		Params: func(i int) TrialParams {
+			return TrialParams{Seed: seed0 + int64(i), Mode: ModeFullAttack}
+		},
+		Format: func(results []TrialResult) string {
+			return FormatTableII(tableIIFromResults(trials, results))
+		},
+		fingerprint: sweepFingerprint("table2", trials, seed0),
+	}
+}
+
+// tableIIFromResults aggregates a complete Table II result set.
+func tableIIFromResults(trials int, results []TrialResult) TableIIResult {
 	res := TableIIResult{Trials: trials}
 	var single, all [1 + website.PartyCount]int
 	gapsPrev := make([][]time.Duration, 1+website.PartyCount)
 	gapsNext := make([][]time.Duration, 1+website.PartyCount)
-	setSegments(opts, "full-attack")
-	results := runTrials(trials, opts, func(i int) TrialParams {
-		return TrialParams{Seed: seed0 + int64(i), Mode: ModeFullAttack}
-	})
 	for _, r := range results {
 		if r.Broken {
 			res.Broken++
@@ -376,11 +447,30 @@ type DelayRow struct {
 // (the paper rejects it as an attack knob; in the simulation extra
 // delay actually deepens multiplexing by slowing the drain).
 func DelaySweep(trials int, seed0 int64, opts ...Option) []DelayRow {
+	return delayRows(trials, delayDef(trials, seed0).Run(opts...))
+}
+
+// delayDef is the §IV-A uniform-delay control as a shardable sweep
+// definition.
+func delayDef(trials int, seed0 int64) SweepDef {
 	delays := []time.Duration{0, 25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond}
-	setSegments(opts, "delay=0ms", "delay=25ms", "delay=50ms", "delay=100ms")
-	results := runTrials(len(delays)*trials, opts, func(i int) TrialParams {
-		return TrialParams{Seed: seed0 + int64(i%trials), Mode: ModePassive, UniformDelay: delays[i/trials], ObsSegment: i / trials}
-	})
+	return SweepDef{
+		Name:     "delay",
+		Trials:   len(delays) * trials,
+		Segments: []string{"delay=0ms", "delay=25ms", "delay=50ms", "delay=100ms"},
+		Params: func(i int) TrialParams {
+			return TrialParams{Seed: seed0 + int64(i%trials), Mode: ModePassive, UniformDelay: delays[i/trials], ObsSegment: i / trials}
+		},
+		Format: func(results []TrialResult) string {
+			return FormatDelaySweep(delayRows(trials, results))
+		},
+		fingerprint: sweepFingerprint("delay", trials, seed0),
+	}
+}
+
+// delayRows aggregates a complete delay-sweep result set.
+func delayRows(trials int, results []TrialResult) []DelayRow {
+	delays := []time.Duration{0, 25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond}
 	rows := make([]DelayRow, 0, len(delays))
 	for di, d := range delays {
 		clean := 0
@@ -417,39 +507,62 @@ type DefenseRow struct {
 	PosAccuracyPct float64
 }
 
+// defenseConfigs is the §VII defence evaluation grid, shared by the
+// sweep definition and its aggregator.
+var defenseConfigs = []struct {
+	name      string
+	canonical bool
+	pad       int
+	push      bool
+}{
+	{"none (paper attack)", false, 0, false},
+	{"canonical order", true, 0, false},
+	{"server push", false, 0, true},
+	{"pad to 4KiB", false, 4096, false},
+	{"order + padding", true, 4096, false},
+}
+
 // Defenses evaluates the paper's section VII mitigation proposals
 // against the full composed attack: requesting the emblem images in a
 // fixed canonical order (so the request sequence carries no secret),
 // padding all object sizes to 4 KiB buckets, and both together.
 func Defenses(trials int, seed0 int64, opts ...Option) []DefenseRow {
-	configs := []struct {
-		name      string
-		canonical bool
-		pad       int
-		push      bool
-	}{
-		{"none (paper attack)", false, 0, false},
-		{"canonical order", true, 0, false},
-		{"server push", false, 0, true},
-		{"pad to 4KiB", false, 4096, false},
-		{"order + padding", true, 4096, false},
-	}
+	return defenseRows(trials, defensesDef(trials, seed0).Run(opts...))
+}
+
+// defensesDef is the defence evaluation as a shardable sweep
+// definition.
+func defensesDef(trials int, seed0 int64) SweepDef {
+	configs := defenseConfigs
 	segs := make([]string, len(configs))
 	for i, cfg := range configs {
 		segs[i] = cfg.name
 	}
-	setSegments(opts, segs...)
-	results := runTrials(len(configs)*trials, opts, func(i int) TrialParams {
-		cfg := configs[i/trials]
-		return TrialParams{
-			Seed:           seed0 + int64(i%trials),
-			Mode:           ModeFullAttack,
-			CanonicalOrder: cfg.canonical,
-			PadBucket:      cfg.pad,
-			PushEmblems:    cfg.push,
-			ObsSegment:     i / trials,
-		}
-	})
+	return SweepDef{
+		Name:     "defenses",
+		Trials:   len(configs) * trials,
+		Segments: segs,
+		Params: func(i int) TrialParams {
+			cfg := configs[i/trials]
+			return TrialParams{
+				Seed:           seed0 + int64(i%trials),
+				Mode:           ModeFullAttack,
+				CanonicalOrder: cfg.canonical,
+				PadBucket:      cfg.pad,
+				PushEmblems:    cfg.push,
+				ObsSegment:     i / trials,
+			}
+		},
+		Format: func(results []TrialResult) string {
+			return FormatDefenses(defenseRows(trials, results))
+		},
+		fingerprint: sweepFingerprint("defenses", trials, seed0),
+	}
+}
+
+// defenseRows aggregates a complete defence-evaluation result set.
+func defenseRows(trials int, results []TrialResult) []DefenseRow {
+	configs := defenseConfigs
 	rows := make([]DefenseRow, 0, len(configs))
 	for ci, cfg := range configs {
 		htmlOK, posOK := 0, 0

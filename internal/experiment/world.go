@@ -64,6 +64,13 @@ func (w *World) SetRecorder(rec *obs.Recorder) { w.rec = rec }
 // RunTrial executes one trial in this world. Equivalent to the
 // package-level RunTrial(p), amortizing construction across calls.
 func (w *World) RunTrial(p TrialParams) TrialResult {
+	// Trial latency feeds the worker's own shard (lock-free; merged
+	// into the registry's wall section at snapshot time). No defer:
+	// the method is on the dispatch hot path.
+	var wallStart time.Time
+	if w.shard != nil {
+		wallStart = time.Now()
+	}
 	// Re-seeding replays the exact stream a fresh
 	// rand.New(rand.NewSource(p.Seed)) would produce, so the survey
 	// outcome and ambient draws match the fresh-world path.
@@ -160,6 +167,9 @@ func (w *World) RunTrial(p TrialParams) TrialResult {
 	}
 	if res.PageComplete {
 		sink.Inc(obs.CTrialComplete)
+	}
+	if w.shard != nil {
+		w.shard.ObserveTrialWall(time.Since(wallStart))
 	}
 	return res
 }

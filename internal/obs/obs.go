@@ -269,6 +269,24 @@ func (b *block) merge(o *block) {
 // as experiment.World).
 type Shard struct {
 	segs []block
+
+	// wall is the worker's private trial-latency histogram (the only
+	// wall-clock cell in the shard). Keeping it here instead of behind
+	// the registry mutex means trial completion never takes a lock:
+	// the registry folds all shard walls together at Snapshot time,
+	// and histogram merge is commutative, so the aggregate is the same
+	// as the old centrally-locked accumulation.
+	wall Hist
+}
+
+// ObserveTrialWall folds one trial's wall-clock latency into the
+// shard's private wall histogram, lock-free. A nil shard ignores the
+// sample.
+func (s *Shard) ObserveTrialWall(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.wall.Observe(int64(d))
 }
 
 // Sink returns the increment handle for one segment of the shard,

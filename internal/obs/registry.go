@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
@@ -62,7 +63,9 @@ func (r *Registry) NewShard() *Shard {
 }
 
 // ObserveTrialWall folds one trial's wall-clock latency into the wall
-// section. Safe for concurrent use.
+// section under the registry lock. Safe for concurrent use, but the
+// hot path should prefer the lock-free Shard.ObserveTrialWall — the
+// snapshot merges both.
 func (r *Registry) ObserveTrialWall(d time.Duration) {
 	r.mu.Lock()
 	r.wallHist.Observe(int64(d))
@@ -79,30 +82,44 @@ func (r *Registry) Snapshot() *Snapshot {
 	defer r.mu.Unlock()
 	snap := &Snapshot{Elapsed: time.Since(r.start)}
 	for i, label := range r.labels {
-		seg := SegmentSnapshot{Label: label}
 		var merged block
 		for _, s := range r.shards {
 			if i < len(s.segs) {
 				merged.merge(&s.segs[i])
 			}
 		}
-		for c := Counter(0); c < counterCount; c++ {
-			if v := merged.counters[c]; v != 0 {
-				seg.Counters = append(seg.Counters, CounterValue{Name: c.String(), Value: v})
-			}
-		}
-		for h := HistID(0); h < histCount; h++ {
-			hv := merged.hists[h]
-			if hv.Count != 0 {
-				seg.Hists = append(seg.Hists, HistValue{Name: h.String(), Hist: hv})
-			}
-		}
-		snap.Segments = append(snap.Segments, seg)
+		snap.Segments = append(snap.Segments, segmentFromBlock(label, &merged))
 	}
-	if r.wallCount > 0 {
-		snap.Wall = &WallSnapshot{Trials: r.wallCount, Hist: r.wallHist}
+	wall := r.wallHist
+	trials := r.wallCount
+	for _, s := range r.shards {
+		wall.Merge(&s.wall)
+		trials += s.wall.Count
+	}
+	if trials > 0 {
+		snap.Wall = &WallSnapshot{Trials: trials, Hist: wall}
 	}
 	return snap
+}
+
+// segmentFromBlock renders one merged block as a segment snapshot:
+// only non-zero cells, in schema declaration order. Both
+// Registry.Snapshot and Snapshot.Merge emit through this, so a merged
+// snapshot is formatted exactly like a natively-collected one.
+func segmentFromBlock(label string, merged *block) SegmentSnapshot {
+	seg := SegmentSnapshot{Label: label}
+	for c := Counter(0); c < counterCount; c++ {
+		if v := merged.counters[c]; v != 0 {
+			seg.Counters = append(seg.Counters, CounterValue{Name: c.String(), Value: v})
+		}
+	}
+	for h := HistID(0); h < histCount; h++ {
+		hv := merged.hists[h]
+		if hv.Count != 0 {
+			seg.Hists = append(seg.Hists, HistValue{Name: h.String(), Hist: hv})
+		}
+	}
+	return seg
 }
 
 // CounterValue is one named counter total in a snapshot.
@@ -117,28 +134,71 @@ type HistValue struct {
 	Hist Hist   `json:"-"`
 }
 
+// histBucketJSON is the compressed on-wire form of one non-empty
+// histogram bucket: the bucket's inclusive upper bound 2^i - 1 and
+// its count. The bucket index is recoverable as bits.Len64(le), so
+// the encoding is lossless.
+type histBucketJSON struct {
+	UpperBound uint64 `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// packBuckets compresses a histogram's non-empty buckets.
+func packBuckets(h *Hist) []histBucketJSON {
+	var bs []histBucketJSON
+	for i, c := range h.Buckets {
+		if c != 0 {
+			bs = append(bs, histBucketJSON{UpperBound: 1<<uint(i) - 1, Count: c})
+		}
+	}
+	return bs
+}
+
+// unpackBuckets reverses packBuckets into a zeroed histogram's bucket
+// array (count and sum are carried separately on the wire).
+func unpackBuckets(h *Hist, bs []histBucketJSON) error {
+	for _, b := range bs {
+		i := bits.Len64(b.UpperBound)
+		if i >= histBuckets || b.UpperBound != 1<<uint(i)-1 {
+			return fmt.Errorf("obs: bad histogram bucket bound %d", b.UpperBound)
+		}
+		h.Buckets[i] += b.Count
+	}
+	return nil
+}
+
 // MarshalJSON exports the histogram as summary statistics plus its
 // non-empty buckets (bucket i covers [2^(i-1), 2^i), bucket 0 is
 // exactly zero).
 func (h HistValue) MarshalJSON() ([]byte, error) {
-	type bucket struct {
-		UpperBound uint64 `json:"le"`
-		Count      uint64 `json:"count"`
-	}
-	var bs []bucket
-	for i, c := range h.Hist.Buckets {
-		if c != 0 {
-			bs = append(bs, bucket{UpperBound: 1<<uint(i) - 1, Count: c})
-		}
-	}
 	return json.Marshal(struct {
-		Name    string   `json:"name"`
-		Count   uint64   `json:"count"`
-		Sum     uint64   `json:"sum"`
-		P50     uint64   `json:"p50_le"`
-		P99     uint64   `json:"p99_le"`
-		Buckets []bucket `json:"buckets,omitempty"`
-	}{h.Name, h.Hist.Count, h.Hist.Sum, h.Hist.Quantile(0.50), h.Hist.Quantile(0.99), bs})
+		Name    string           `json:"name"`
+		Count   uint64           `json:"count"`
+		Sum     uint64           `json:"sum"`
+		P50     uint64           `json:"p50_le"`
+		P99     uint64           `json:"p99_le"`
+		Buckets []histBucketJSON `json:"buckets,omitempty"`
+	}{h.Name, h.Hist.Count, h.Hist.Sum, h.Hist.Quantile(0.50), h.Hist.Quantile(0.99), packBuckets(&h.Hist)})
+}
+
+// UnmarshalJSON reverses MarshalJSON: the full histogram is
+// reconstructed from the compressed bucket list plus count and sum
+// (the quantile fields are derived and ignored). This is what makes a
+// Snapshot round-trippable across a process boundary for shard-bundle
+// merging.
+func (h *HistValue) UnmarshalJSON(data []byte) error {
+	var in struct {
+		Name    string           `json:"name"`
+		Count   uint64           `json:"count"`
+		Sum     uint64           `json:"sum"`
+		Buckets []histBucketJSON `json:"buckets"`
+	}
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	h.Name = in.Name
+	h.Hist = Hist{Count: in.Count, Sum: in.Sum}
+	return unpackBuckets(&h.Hist, in.Buckets)
 }
 
 // SegmentSnapshot is the merged cells of one sweep configuration.
@@ -166,15 +226,33 @@ type WallSnapshot struct {
 	Hist   Hist   `json:"-"`
 }
 
-// MarshalJSON exports the wall section's summary statistics.
+// MarshalJSON exports the wall section's summary statistics plus the
+// full latency bucket list, so a serialized shard snapshot carries
+// enough to aggregate wall sections across processes.
 func (w *WallSnapshot) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
-		Trials     uint64 `json:"trials"`
-		SumNanos   uint64 `json:"sum_ns"`
-		MeanNanos  uint64 `json:"mean_ns"`
-		P50LENanos uint64 `json:"p50_le_ns"`
-		P99LENanos uint64 `json:"p99_le_ns"`
-	}{w.Trials, w.Hist.Sum, uint64(w.Hist.Mean()), w.Hist.Quantile(0.50), w.Hist.Quantile(0.99)})
+		Trials     uint64           `json:"trials"`
+		SumNanos   uint64           `json:"sum_ns"`
+		MeanNanos  uint64           `json:"mean_ns"`
+		P50LENanos uint64           `json:"p50_le_ns"`
+		P99LENanos uint64           `json:"p99_le_ns"`
+		Buckets    []histBucketJSON `json:"buckets,omitempty"`
+	}{w.Trials, w.Hist.Sum, uint64(w.Hist.Mean()), w.Hist.Quantile(0.50), w.Hist.Quantile(0.99), packBuckets(&w.Hist)})
+}
+
+// UnmarshalJSON reverses MarshalJSON (derived statistics are
+// recomputed from the buckets, not trusted from the wire).
+func (w *WallSnapshot) UnmarshalJSON(data []byte) error {
+	var in struct {
+		Trials   uint64           `json:"trials"`
+		SumNanos uint64           `json:"sum_ns"`
+		Buckets  []histBucketJSON `json:"buckets"`
+	}
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*w = WallSnapshot{Trials: in.Trials, Hist: Hist{Count: in.Trials, Sum: in.SumNanos}}
+	return unpackBuckets(&w.Hist, in.Buckets)
 }
 
 // Snapshot is a merged view of one registry, produced by
@@ -195,6 +273,98 @@ func (s *Snapshot) Segment(label string) *SegmentSnapshot {
 		}
 	}
 	return nil
+}
+
+// counterIndex and histIndex map export names back to schema indices,
+// for folding a deserialized snapshot into block cells.
+var counterIndex = func() map[string]Counter {
+	m := make(map[string]Counter, counterCount)
+	for c := Counter(0); c < counterCount; c++ {
+		m[c.String()] = c
+	}
+	return m
+}()
+
+var histIndex = func() map[string]HistID {
+	m := make(map[string]HistID, histCount)
+	for h := HistID(0); h < histCount; h++ {
+		m[h.String()] = h
+	}
+	return m
+}()
+
+// toBlock folds a segment snapshot back into raw metric cells. An
+// export name absent from the compiled schema is an error: it means
+// the snapshot came from a different build of the schema and integer
+// merging would silently misattribute its cells.
+func (s *SegmentSnapshot) toBlock() (*block, error) {
+	var b block
+	for _, c := range s.Counters {
+		idx, ok := counterIndex[c.Name]
+		if !ok {
+			return nil, fmt.Errorf("obs: unknown counter %q in snapshot", c.Name)
+		}
+		b.counters[idx] += c.Value
+	}
+	for i := range s.Hists {
+		h := &s.Hists[i]
+		idx, ok := histIndex[h.Name]
+		if !ok {
+			return nil, fmt.Errorf("obs: unknown histogram %q in snapshot", h.Name)
+		}
+		b.hists[idx].Merge(&h.Hist)
+	}
+	return &b, nil
+}
+
+// Merge folds o's cells into s. Both snapshots must have the same
+// segment labels in the same order (shards of one campaign share the
+// registry's segment configuration). Segment cells merge by integer
+// addition through the same block path Registry.Snapshot uses, so
+// merging is commutative and partition-invariant: merging N shard
+// snapshots of a campaign yields byte-identical DeterministicText to
+// running the whole campaign in one process. Wall sections aggregate
+// (histograms merge, trial counts add) rather than keeping one
+// shard's values; Elapsed becomes the maximum, since shard processes
+// run concurrently.
+func (s *Snapshot) Merge(o *Snapshot) error {
+	if len(s.Segments) != len(o.Segments) {
+		return fmt.Errorf("obs: segment count mismatch: %d vs %d", len(s.Segments), len(o.Segments))
+	}
+	for i := range s.Segments {
+		a, b := &s.Segments[i], &o.Segments[i]
+		if a.Label != b.Label {
+			return fmt.Errorf("obs: segment label mismatch at %d: %q vs %q", i, a.Label, b.Label)
+		}
+		ab, err := a.toBlock()
+		if err != nil {
+			return err
+		}
+		bb, err := b.toBlock()
+		if err != nil {
+			return err
+		}
+		ab.merge(bb)
+		s.Segments[i] = segmentFromBlock(a.Label, ab)
+	}
+	if o.Wall != nil {
+		if s.Wall == nil {
+			s.Wall = &WallSnapshot{}
+		}
+		s.Wall.Trials += o.Wall.Trials
+		s.Wall.Hist.Merge(&o.Wall.Hist)
+	}
+	if o.Elapsed > s.Elapsed {
+		s.Elapsed = o.Elapsed
+	}
+	return nil
+}
+
+// Deterministic returns a copy of the snapshot with the wall-clock
+// sections (Wall, Elapsed) dropped: the JSON-export view that must be
+// byte-identical at any worker count and for any process sharding.
+func (s *Snapshot) Deterministic() *Snapshot {
+	return &Snapshot{Segments: s.Segments}
 }
 
 // DeterministicText renders only the sim-domain sections: identical
@@ -244,7 +414,11 @@ func (s *Snapshot) writeSegments(b *strings.Builder) {
 
 // MarshalSweeps serializes a map of sweep name → snapshot as stable,
 // sorted JSON — the -metrics-json export, shaped like the BENCH_*.json
-// flow (one object per sweep under a top-level key).
+// flow (one object per sweep under a top-level key). Only the
+// deterministic sections are exported (wall-clock stays in the
+// human-readable -metrics text), so the file is byte-identical for
+// the same trials at any worker count and for any process sharding —
+// the property the shard-merge CI gate cmp's.
 func MarshalSweeps(sweeps map[string]*Snapshot) ([]byte, error) {
 	names := make([]string, 0, len(sweeps))
 	for n := range sweeps {
@@ -259,7 +433,7 @@ func MarshalSweeps(sweeps map[string]*Snapshot) ([]byte, error) {
 		Sweeps []entry `json:"sweeps"`
 	}{}
 	for _, n := range names {
-		out.Sweeps = append(out.Sweeps, entry{Sweep: n, Snapshot: sweeps[n]})
+		out.Sweeps = append(out.Sweeps, entry{Sweep: n, Snapshot: sweeps[n].Deterministic()})
 	}
 	return json.MarshalIndent(out, "", "  ")
 }

@@ -27,12 +27,18 @@ import (
 // directory), so a kill during a checkpoint write leaves the previous
 // checkpoint intact.
 type checkpointFile struct {
-	Campaign    string                     `json:"campaign"`
-	Fingerprint string                     `json:"fingerprint"`
-	Trials      int                        `json:"trials"`
-	Next        int                        `json:"next"`
-	DoneFlag    bool                       `json:"done"`
-	Exporters   map[string]json.RawMessage `json:"exporters"`
+	Campaign    string `json:"campaign"`
+	Fingerprint string `json:"fingerprint"`
+	Trials      int    `json:"trials"`
+	// RangeStart/RangeEnd record the contiguous index slice this
+	// checkpoint covers (a shard run). Zero values mean the full
+	// campaign — RangeEnd 0 is read as Trials, so checkpoints written
+	// before ranges existed still verify.
+	RangeStart int                        `json:"range_start,omitempty"`
+	RangeEnd   int                        `json:"range_end,omitempty"`
+	Next       int                        `json:"next"`
+	DoneFlag   bool                       `json:"done"`
+	Exporters  map[string]json.RawMessage `json:"exporters"`
 }
 
 // checkpoint couples the format with its path and campaign identity.
@@ -41,13 +47,16 @@ type checkpoint struct {
 	path string
 }
 
-// newCheckpoint prepares a checkpoint writer for a campaign.
-func newCheckpoint(path, campaign, fingerprint string, trials int) *checkpoint {
+// newCheckpoint prepares a checkpoint writer for the [start, end)
+// slice of a campaign.
+func newCheckpoint(path, campaign, fingerprint string, trials, start, end int) *checkpoint {
 	return &checkpoint{
 		checkpointFile: checkpointFile{
 			Campaign:    campaign,
 			Fingerprint: fingerprint,
 			Trials:      trials,
+			RangeStart:  start,
+			RangeEnd:    end,
 		},
 		path: path,
 	}
@@ -71,8 +80,8 @@ func loadCheckpoint(path string) (*checkpoint, error) {
 }
 
 // verify guards a resume: the checkpoint must describe exactly the
-// campaign the caller is about to continue.
-func (ck *checkpoint) verify(campaign, fingerprint string, trials int) error {
+// campaign — and the index range — the caller is about to continue.
+func (ck *checkpoint) verify(campaign, fingerprint string, trials, start, end int) error {
 	if ck.Campaign != campaign {
 		return fmt.Errorf("pipeline: checkpoint %s is for campaign %q, not %q", ck.path, ck.Campaign, campaign)
 	}
@@ -83,7 +92,31 @@ func (ck *checkpoint) verify(campaign, fingerprint string, trials int) error {
 	if ck.Trials != trials {
 		return fmt.Errorf("pipeline: checkpoint %s records %d trials, campaign has %d", ck.path, ck.Trials, trials)
 	}
+	ckEnd := ck.RangeEnd
+	if ckEnd == 0 {
+		ckEnd = ck.Trials
+	}
+	if ck.RangeStart != start || ckEnd != end {
+		return fmt.Errorf("pipeline: checkpoint %s covers range [%d, %d), run requested [%d, %d)",
+			ck.path, ck.RangeStart, ckEnd, start, end)
+	}
 	return nil
+}
+
+// CheckpointExporterState reads the serialized state one exporter had
+// at the checkpoint file's last save. ok is false when the file does
+// not exist or records no state for that exporter. A campaign whose
+// checkpoint says done short-circuits Run without touching the
+// exporters; callers that derive output files from exporter state (the
+// shard bundle's obs snapshot) use this to recover that state from the
+// done checkpoint instead of re-running the campaign.
+func CheckpointExporterState(path, exporter string) (json.RawMessage, bool, error) {
+	ck, err := loadCheckpoint(path)
+	if err != nil || ck == nil {
+		return nil, false, err
+	}
+	state, ok := ck.Exporters[exporter]
+	return state, ok, nil
 }
 
 // save atomically rewrites the checkpoint file with next as the

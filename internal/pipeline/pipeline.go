@@ -42,7 +42,6 @@ package pipeline
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"time"
 
@@ -73,8 +72,23 @@ type Config struct {
 	OnProgress func(runner.Progress)
 
 	// OnTrialDone receives each trial's index and wall-clock duration
-	// (serialized; runner semantics), e.g. obs.Registry.ObserveTrialWall.
+	// (serialized; runner semantics). The experiment layer times its
+	// trials into per-worker obs shards instead, so this is for
+	// external consumers.
 	OnTrialDone func(index int, elapsed time.Duration)
+
+	// Start is the first trial index this invocation executes (default
+	// 0). A checkpointed resume overrides it with the recorded next
+	// index. Together with End it confines the run to one contiguous
+	// slice [Start, End) of the campaign — the process-level
+	// partitioning internal/shard builds on: because Params(i) is pure,
+	// a campaign sliced across processes exports exactly the lines a
+	// single process would for those indices.
+	Start int
+
+	// End, when positive, bounds execution to trial indices below it;
+	// zero means the full campaign (Generator.Trials()).
+	End int
 
 	// Checkpoint is the checkpoint file path; empty disables
 	// checkpointing (and resume).
@@ -90,13 +104,19 @@ type Config struct {
 	// point. The campaign is resumed by running again with the same
 	// checkpoint file — the chunked execution mode for multi-hour
 	// campaigns (and the deterministic "kill" used by the resume
-	// tests).
+	// tests). It is implemented as a tighter execution end bound, so
+	// no trial beyond the stop point ever runs: state recorded during
+	// execution (the shard obs snapshot) exactly matches the exported
+	// prefix at the final checkpoint.
 	MaxTrials int
 
 	// Stop, when non-nil, requests a graceful stop when it becomes
-	// readable (e.g. closed on SIGINT): the pipeline finishes the
-	// trial at the export cursor, checkpoints, and returns with
-	// Summary.Done == false.
+	// readable (e.g. closed on SIGINT): workers claim no further
+	// trials, trials already claimed complete and export, and the
+	// pipeline checkpoints the stop point, returning with
+	// Summary.Done == false. Draining — rather than discarding
+	// in-flight trials — is what keeps execution-time side effects
+	// (metrics shards) exact across the stop/resume boundary.
 	Stop <-chan struct{}
 }
 
@@ -109,24 +129,25 @@ type Summary struct {
 	Trials int
 
 	// Start is the index this invocation began at (non-zero on
-	// resume).
+	// resume or for a shard range).
 	Start int
 
-	// Exported counts trials exported across the whole campaign so
-	// far (== the next index to run; Start + this run's exports).
+	// End is the index this invocation runs up to: Trials for a full
+	// campaign, Config.End for a shard range.
+	End int
+
+	// Exported counts trials exported so far (== the next index to
+	// run; Start + this run's exports).
 	Exported int
 
 	// Failures are this invocation's panicked trials, in index order
 	// (their results were exported as zero values).
 	Failures []*runner.TrialError
 
-	// Done reports whether the campaign completed. False means a
-	// MaxTrials/Stop stop was checkpointed for resume.
+	// Done reports whether the campaign range completed. False means
+	// a MaxTrials/Stop stop was checkpointed for resume.
 	Done bool
 }
-
-// errStopped distinguishes an emit-side stop from exhaustion.
-var errStopped = errors.New("pipeline: stopped")
 
 // Run executes gen's campaign through a worker pool and streams every
 // trial, in index order, to each exporter. newState builds one
@@ -141,16 +162,25 @@ var errStopped = errors.New("pipeline: stopped")
 // touching the exporters.
 func Run[P, R, S any](cfg Config, gen Generator[P], newState func() S, trial func(state S, p P) R, exporters ...Exporter[P, R]) (Summary, error) {
 	n := gen.Trials()
-	sum := Summary{Name: gen.Name(), Trials: n}
+	end := cfg.End
+	if end <= 0 || end > n {
+		end = n
+	}
+	sum := Summary{Name: gen.Name(), Trials: n, Start: cfg.Start, End: end}
+	if cfg.Start < 0 || cfg.Start > end {
+		return sum, fmt.Errorf("pipeline: range [%d, %d) outside campaign of %d trials", cfg.Start, end, n)
+	}
 
 	var ck *checkpoint
+	resumed := false
 	if cfg.Checkpoint != "" {
 		loaded, err := loadCheckpoint(cfg.Checkpoint)
 		if err != nil {
 			return sum, err
 		}
+		resumed = loaded != nil
 		if loaded != nil {
-			if err := loaded.verify(gen.Name(), gen.Fingerprint(), n); err != nil {
+			if err := loaded.verify(gen.Name(), gen.Fingerprint(), n, cfg.Start, end); err != nil {
 				return sum, err
 			}
 			if loaded.DoneFlag {
@@ -168,7 +198,7 @@ func Run[P, R, S any](cfg Config, gen Generator[P], newState func() S, trial fun
 			}
 			sum.Start = loaded.Next
 		}
-		ck = newCheckpoint(cfg.Checkpoint, gen.Name(), gen.Fingerprint(), n)
+		ck = newCheckpoint(cfg.Checkpoint, gen.Name(), gen.Fingerprint(), n, cfg.Start, end)
 	}
 
 	// checkpointStates collects every exporter's serialized state; a
@@ -196,7 +226,7 @@ func Run[P, R, S any](cfg Config, gen Generator[P], newState func() S, trial fun
 		return ck.save(next, done, states)
 	}
 
-	meta := Meta{Name: gen.Name(), Trials: n, Start: sum.Start, Resumed: sum.Start > 0}
+	meta := Meta{Name: gen.Name(), Trials: n, Start: sum.Start, Resumed: resumed}
 	for _, e := range exporters {
 		if err := e.Begin(meta); err != nil {
 			return sum, fmt.Errorf("pipeline: exporter %q: %w", e.Name(), err)
@@ -207,13 +237,21 @@ func Run[P, R, S any](cfg Config, gen Generator[P], newState func() S, trial fun
 	if every <= 0 {
 		every = 1000
 	}
+	// MaxTrials is a tighter end bound, not an emit-side abort: the
+	// runner executes exactly [sum.Start, execEnd), so nothing runs
+	// beyond the checkpointed stop point.
+	execEnd := end
+	if cfg.MaxTrials > 0 && sum.Start+cfg.MaxTrials < execEnd {
+		execEnd = sum.Start + cfg.MaxTrials
+	}
 	exported := 0
 	var runErr error
-	runner.StreamWith(n, runner.StreamOptions{
+	runner.StreamWith(execEnd, runner.StreamOptions{
 		Options: runner.Options{Workers: cfg.Workers, OnProgress: cfg.OnProgress, OnTrialDone: cfg.OnTrialDone},
 		Start:   sum.Start,
 		Window:  cfg.Window,
 		Batch:   cfg.Batch,
+		Stop:    cfg.Stop,
 	}, newState, func(s S, i int) R {
 		return trial(s, gen.Params(i))
 	}, func(i int, result R, err *runner.TrialError) bool {
@@ -228,32 +266,17 @@ func Run[P, R, S any](cfg Config, gen Generator[P], newState func() S, trial fun
 			}
 		}
 		exported++
-		stop := false
-		if cfg.MaxTrials > 0 && exported >= cfg.MaxTrials {
-			stop = true
-		}
-		if cfg.Stop != nil && !stop {
-			select {
-			case <-cfg.Stop:
-				stop = true
-			default:
-			}
-		}
 		if ck != nil && exported%every == 0 {
 			if ckErr := saveCheckpoint(i+1, false); ckErr != nil {
 				runErr = ckErr
 				return false
 			}
 		}
-		if stop {
-			runErr = errStopped
-			return false
-		}
 		return true
 	})
 
 	sum.Exported = sum.Start + exported
-	if runErr != nil && runErr != errStopped {
+	if runErr != nil {
 		// The exporters may be mid-trial; close them without the
 		// done-side effects and leave the last periodic checkpoint as
 		// the resume point.
@@ -262,7 +285,7 @@ func Run[P, R, S any](cfg Config, gen Generator[P], newState func() S, trial fun
 		}
 		return sum, runErr
 	}
-	sum.Done = runErr == nil && sum.Exported == n
+	sum.Done = runErr == nil && sum.Exported == end
 	if ck != nil {
 		if err := saveCheckpoint(sum.Exported, sum.Done); err != nil {
 			return sum, err

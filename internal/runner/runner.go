@@ -160,6 +160,19 @@ func (st *state) timed() bool { return st.onTrialDone != nil }
 // serialized under the state lock.
 func (st *state) finishOne(i int, failure *TrialError, elapsed time.Duration) {
 	st.mu.Lock()
+	st.finishLocked(i, failure, elapsed)
+	st.mu.Unlock()
+}
+
+// beginFinish/endFinish bracket a run of finishLocked calls so a
+// worker delivering a whole chunk pays one lock acquisition for the
+// chunk's completion bookkeeping instead of one per trial.
+func (st *state) beginFinish() { st.mu.Lock() }
+func (st *state) endFinish()   { st.mu.Unlock() }
+
+// finishLocked is finishOne's body; the caller holds st.mu. Callbacks
+// still fire once per trial.
+func (st *state) finishLocked(i int, failure *TrialError, elapsed time.Duration) {
 	st.completed++
 	if failure != nil {
 		st.failed++
@@ -180,7 +193,6 @@ func (st *state) finishOne(i int, failure *TrialError, elapsed time.Duration) {
 		}
 		st.onProgress(p)
 	}
-	st.mu.Unlock()
 }
 
 // protect runs one trial and converts a panic into a TrialError.

@@ -2,6 +2,7 @@ package runner
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -36,6 +37,29 @@ type StreamOptions struct {
 	// claims one index. Batching never affects the emitted stream,
 	// only which worker runs which trial.
 	Batch int
+
+	// Stop, when non-nil, requests a graceful drain when it becomes
+	// readable: workers claim no further chunks, every trial already
+	// claimed completes and is emitted, then StreamWith returns. At
+	// most workers×Batch trials execute after the signal. Draining —
+	// rather than abandoning in-flight work the way an emit-side stop
+	// does — means every executed trial reaches emit, so side effects
+	// recorded during execution (per-worker metrics shards) exactly
+	// match the emitted prefix.
+	Stop <-chan struct{}
+}
+
+// stopRequested polls a drain channel without blocking.
+func stopRequested(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // windowFor resolves the admission window for a worker count.
@@ -90,6 +114,9 @@ func StreamWith[S, T any](n int, opts StreamOptions, newState func() S, fn func(
 		// because results are emitted as they complete.
 		ws := newState()
 		for i := opts.Start; i < n; i++ {
+			if stopRequested(opts.Stop) {
+				return
+			}
 			result, failure, elapsed := runTimed(st, i, ws, fn)
 			st.finishOne(i, failure, elapsed)
 			if !emit(i, result, failure) {
@@ -121,21 +148,44 @@ func StreamWith[S, T any](n int, opts StreamOptions, newState func() S, fn func(
 		go func() {
 			defer wg.Done()
 			ws := newState()
+			// buf is the worker's private completion buffer, reused
+			// across chunks: the whole chunk runs without touching any
+			// shared state, then deliverChunk publishes it under one
+			// lock acquisition — one coordination round per Batch
+			// trials instead of one per trial.
+			var buf []chunkResult[T]
 			for {
-				start, count, ok := sw.claim(batch)
+				start, count, ok := sw.claim(batch, opts.Stop)
 				if !ok {
 					return
 				}
-				for i := start; i < start+count; i++ {
-					result, failure, elapsed := runTimed(st, i, ws, fn)
-					if !sw.deliver(i, result, failure, elapsed, emit) {
-						return // stream stopped; abandon the chunk
+				if cap(buf) < count {
+					buf = make([]chunkResult[T], count)
+				}
+				buf = buf[:count]
+				for k := 0; k < count; k++ {
+					result, failure, elapsed := runTimed(st, start+k, ws, fn)
+					buf[k] = chunkResult[T]{result: result, err: failure, elapsed: elapsed}
+					if k+1 < count && sw.stopping.Load() {
+						buf = buf[:k+1] // stream stopped; abandon the rest
+						break
 					}
+				}
+				if !sw.deliverChunk(start, buf, emit) {
+					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// chunkResult is one completed trial buffered worker-locally between
+// execution and chunk delivery.
+type chunkResult[T any] struct {
+	result  T
+	err     *TrialError
+	elapsed time.Duration
 }
 
 // streamSlot is one parked completion in the reorder ring.
@@ -155,6 +205,11 @@ type streamState[T any] struct {
 	n        int
 	stopped  bool
 	ring     []streamSlot[T] // reorder buffer, indexed by index % len(ring)
+
+	// stopping mirrors stopped for lock-free mid-chunk polling:
+	// workers check it between trials so a large abandoned chunk stops
+	// burning CPU without taking the stream lock per trial.
+	stopping atomic.Bool
 }
 
 // claim hands the calling worker the next chunk of trial indices,
@@ -163,12 +218,15 @@ type streamState[T any] struct {
 // the ring size). Chunk ends are aligned to absolute multiples of
 // batch, so a campaign resumed mid-period re-aligns after one short
 // chunk and every later claim covers exactly one period. Returns
-// ok=false when the stream is exhausted or stopped.
-func (sw *streamState[T]) claim(batch int) (start, count int, ok bool) {
+// ok=false when the stream is exhausted or stopped, or when a drain
+// was requested (already-claimed chunks still deliver — a waiter
+// blocked on window room is woken by their delivery broadcasts and
+// re-checks the drain before claiming).
+func (sw *streamState[T]) claim(batch int, stop <-chan struct{}) (start, count int, ok bool) {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
 	for {
-		if sw.stopped || sw.next >= sw.n {
+		if sw.stopped || sw.next >= sw.n || stopRequested(stop) {
 			return 0, 0, false
 		}
 		want := batch - sw.next%batch
@@ -197,19 +255,34 @@ func runTimed[S, T any](st *state, i int, ws S, fn func(S, int) T) (result T, fa
 	return result, failure, 0
 }
 
-// deliver parks one completed trial and emits every contiguous
-// completed index from the head of the window. It reports whether the
-// stream is still running, so a worker holding a multi-trial chunk
-// knows to abandon the rest.
-func (sw *streamState[T]) deliver(i int, result T, failure *TrialError, elapsed time.Duration, emit func(int, T, *TrialError) bool) bool {
+// deliverChunk parks a chunk of consecutive completed trials starting
+// at index start and emits every contiguous completed index from the
+// head of the window — one stream-lock acquisition and one
+// bookkeeping-lock acquisition per chunk, the batched aggregation
+// that keeps dispatch overhead flat at high worker counts. The chunk
+// always fits the ring: claim admitted it only when
+// start+len(chunk) <= head+len(ring), and head only advances. Reports
+// whether the stream is still running, so a worker knows to stop
+// claiming.
+func (sw *streamState[T]) deliverChunk(start int, chunk []chunkResult[T], emit func(int, T, *TrialError) bool) bool {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
-	sw.runState.finishOne(i, failure, elapsed)
+	st := sw.runState
+	st.beginFinish()
+	for k := range chunk {
+		st.finishLocked(start+k, chunk[k].err, chunk[k].elapsed)
+	}
+	st.endFinish()
 	if sw.stopped {
 		return false
 	}
-	slot := &sw.ring[i%len(sw.ring)]
-	slot.result, slot.err, slot.done = result, failure, true
+	for k := range chunk {
+		slot := &sw.ring[(start+k)%len(sw.ring)]
+		slot.result, slot.err, slot.done = chunk[k].result, chunk[k].err, true
+		// Hand the result's memory to the ring: the worker's reusable
+		// buffer must not retain a second reference past delivery.
+		chunk[k] = chunkResult[T]{}
+	}
 	for sw.head < sw.n {
 		head := &sw.ring[sw.head%len(sw.ring)]
 		if !head.done {
@@ -224,6 +297,7 @@ func (sw *streamState[T]) deliver(i int, result T, failure *TrialError, elapsed 
 		// index-ordered stream without further synchronization.
 		if !emit(idx, result, err) {
 			sw.stopped = true
+			sw.stopping.Store(true)
 			break
 		}
 	}
