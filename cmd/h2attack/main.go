@@ -101,6 +101,9 @@ func run() int {
 		checkpoint = flag.String("checkpoint", "", "survey: checkpoint file for resumable campaigns")
 		ckptEvery  = flag.Int("checkpoint-every", 1000, "survey: trials between checkpoint writes")
 		maxTrials  = flag.Int("max-trials", 0, "survey: stop (checkpointing) after this many trials this run; 0 = no limit")
+
+		exportQueue = flag.Int("export-queue", 0, "depth of the pipelined export queue (0 = default 256, negative = write inline on the emit goroutine); never affects exported bytes")
+		exportBuf   = flag.Int("export-buf", 0, "results writer buffer in bytes (0 = exporter default); never affects exported bytes")
 	)
 	flag.Parse()
 
@@ -192,6 +195,8 @@ func run() int {
 			export:          *export,
 			checkpointEvery: *ckptEvery,
 			maxTrials:       *maxTrials,
+			exportQueue:     *exportQueue,
+			exportBuf:       *exportBuf,
 		}
 		if *shardSpec != "" {
 			if err := runShardMode(*shardSpec, *shardDir, smf); err != nil {
@@ -244,6 +249,8 @@ func run() int {
 			checkpoint:      *checkpoint,
 			checkpointEvery: *ckptEvery,
 			maxTrials:       *maxTrials,
+			exportQueue:     *exportQueue,
+			exportBuf:       *exportBuf,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "h2attack: -survey: %v\n", err)

@@ -43,6 +43,8 @@ type shardModeFlags struct {
 
 	checkpointEvery int
 	maxTrials       int
+	exportQueue     int
+	exportBuf       int
 }
 
 // parseShardSpec parses "i/N" (1-based, as printed by -shard's usage)
@@ -147,6 +149,8 @@ func runShardMode(spec, dir string, f shardModeFlags) error {
 			MaxTrials:       f.maxTrials,
 			Stop:            stop,
 			OnProgress:      f.progressFn(name),
+			ExportQueue:     f.exportQueue,
+			WriterBuf:       f.exportBuf,
 		}
 		sum, err := run(cfg, st, filepath.Join(dir, cm.Results))
 		if err != nil {

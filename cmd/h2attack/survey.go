@@ -27,6 +27,8 @@ type surveyFlags struct {
 	checkpoint      string
 	checkpointEvery int
 	maxTrials       int
+	exportQueue     int
+	exportBuf       int
 }
 
 // runSurvey executes a survey campaign: the paper's attack against a
@@ -93,6 +95,8 @@ func runSurvey(f surveyFlags) error {
 		CheckpointEvery: f.checkpointEvery,
 		MaxTrials:       f.maxTrials,
 		Stop:            interruptChannel(),
+		ExportQueue:     f.exportQueue,
+		WriterBuf:       f.exportBuf,
 	}
 	if f.progress {
 		lastPct := -1

@@ -324,11 +324,14 @@ func (s *Survey) Run(cfg pipeline.Config, exporters ...pipeline.Exporter[CorpusT
 }
 
 // SurveyJSONL returns the campaign's raw per-trial exporter: one JSON
-// line per trial (the SurveyResult, which embeds the site spec).
+// line per trial (the SurveyResult, which embeds the site spec). The
+// zero-allocation append encoder is installed as the fast path; the
+// json.Marshal closure remains the semantic reference the equivalence
+// suite compares against.
 func SurveyJSONL(path string) *pipeline.JSONL[CorpusTrialParams, SurveyResult] {
 	return pipeline.NewJSONL(path, func(i int, p CorpusTrialParams, r SurveyResult) (any, error) {
 		return r, nil
-	})
+	}).WithAppender(pipeline.AppendFunc[CorpusTrialParams, SurveyResult](AppendSurveyResultLine))
 }
 
 // surveyAgg is one aggregation cell of the survey summary.

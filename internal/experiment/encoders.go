@@ -1,0 +1,180 @@
+package experiment
+
+import (
+	"repro/internal/h2sim"
+	"repro/internal/jsonenc"
+)
+
+// This file holds the hand-rolled append encoders behind the export
+// fast path: byte-for-byte replacements for json.Marshal over the
+// campaign line types (SurveyResult for the survey, TrialResult for
+// all six fixed sweeps, CorpusTrialParams for trial identities).
+// Field order follows struct declaration order — embedded SiteSpec
+// fields promote inline first — exactly as encoding/json's reflection
+// encoder walks them; the equivalence suite in encoders_test.go pins
+// each encoder against json.Marshal under seeded random values, since
+// checkpoint offsets and shard concatenation depend on the two paths
+// being interchangeable.
+
+// AppendCorpusTrialParams appends p's JSON object, byte-identical to
+// json.Marshal(p).
+func AppendCorpusTrialParams(dst []byte, p CorpusTrialParams) []byte {
+	dst = append(dst, `{"Site":`...)
+	dst = jsonenc.AppendInt(dst, int64(p.Site))
+	dst = append(dst, `,"Rep":`...)
+	dst = jsonenc.AppendInt(dst, int64(p.Rep))
+	dst = append(dst, `,"Seed":`...)
+	dst = jsonenc.AppendInt(dst, p.Seed)
+	dst = append(dst, `,"Mode":`...)
+	dst = jsonenc.AppendUint(dst, uint64(p.Mode))
+	return append(dst, '}')
+}
+
+// AppendSurveyResult appends r's JSON object, byte-identical to
+// json.Marshal(r). The embedded website.SiteSpec's tagged fields lead
+// (promoted inline, declaration order), then SurveyResult's own.
+func AppendSurveyResult(dst []byte, r SurveyResult) ([]byte, error) {
+	var err error
+	dst = append(dst, `{"site":`...)
+	dst = jsonenc.AppendInt(dst, int64(r.Index))
+	dst = append(dst, `,"seed":`...)
+	dst = jsonenc.AppendUint(dst, r.SiteSpec.Seed)
+	dst = append(dst, `,"objects":`...)
+	dst = jsonenc.AppendInt(dst, int64(r.Objects))
+	dst = append(dst, `,"shape":`...)
+	dst = jsonenc.AppendString(dst, r.Shape)
+	dst = append(dst, `,"target_id":`...)
+	dst = jsonenc.AppendInt(dst, int64(r.TargetID))
+	dst = append(dst, `,"target_size":`...)
+	dst = jsonenc.AppendInt(dst, int64(r.TargetSize))
+	dst = append(dst, `,"total_bytes":`...)
+	dst = jsonenc.AppendInt(dst, int64(r.TotalBytes))
+	dst = append(dst, `,"rep":`...)
+	dst = jsonenc.AppendInt(dst, int64(r.Rep))
+	dst = append(dst, `,"trial_seed":`...)
+	dst = jsonenc.AppendInt(dst, r.TrialSeed)
+	dst = append(dst, `,"broken":`...)
+	dst = jsonenc.AppendBool(dst, r.Broken)
+	dst = append(dst, `,"complete":`...)
+	dst = jsonenc.AppendBool(dst, r.PageComplete)
+	dst = append(dst, `,"target_clean":`...)
+	dst = jsonenc.AppendBool(dst, r.TargetClean)
+	dst = append(dst, `,"target_clean_orig":`...)
+	dst = jsonenc.AppendBool(dst, r.TargetCleanOrig)
+	dst = append(dst, `,"target_identified":`...)
+	dst = jsonenc.AppendBool(dst, r.TargetIdentified)
+	dst = append(dst, `,"target_degree":`...)
+	if dst, err = jsonenc.AppendFloat64(dst, r.TargetDegree); err != nil {
+		return dst, err
+	}
+	dst = append(dst, `,"success":`...)
+	dst = jsonenc.AppendBool(dst, r.Success)
+	dst = append(dst, `,"inferences":`...)
+	dst = jsonenc.AppendInt(dst, int64(r.Inferences))
+	dst = append(dst, `,"identified":`...)
+	dst = jsonenc.AppendInt(dst, int64(r.Identified))
+	dst = append(dst, `,"retransmissions":`...)
+	dst = jsonenc.AppendInt(dst, int64(r.Retransmissions))
+	dst = append(dst, `,"re_requests":`...)
+	dst = jsonenc.AppendInt(dst, int64(r.ReRequests))
+	dst = append(dst, `,"resets":`...)
+	dst = jsonenc.AppendInt(dst, int64(r.Resets))
+	dst = append(dst, `,"load_time_ms":`...)
+	if dst, err = jsonenc.AppendFloat64(dst, r.LoadTimeMs); err != nil {
+		return dst, err
+	}
+	return append(dst, '}'), nil
+}
+
+// appendRequestLog appends one h2sim.RequestLog object (untagged
+// fields, declaration order).
+func appendRequestLog(dst []byte, l h2sim.RequestLog) []byte {
+	dst = append(dst, `{"Time":`...)
+	dst = jsonenc.AppendInt(dst, int64(l.Time))
+	dst = append(dst, `,"ObjectID":`...)
+	dst = jsonenc.AppendInt(dst, int64(l.ObjectID))
+	dst = append(dst, `,"CopyID":`...)
+	dst = jsonenc.AppendInt(dst, int64(l.CopyID))
+	dst = append(dst, `,"StreamID":`...)
+	dst = jsonenc.AppendUint(dst, uint64(l.StreamID))
+	dst = append(dst, `,"ReIssue":`...)
+	dst = jsonenc.AppendBool(dst, l.ReIssue)
+	return append(dst, '}')
+}
+
+// AppendTrialResult appends r's JSON object, byte-identical to
+// json.Marshal(r): untagged Go field names in declaration order,
+// Copies excluded (json:"-"), nil Requests encoding as null.
+func AppendTrialResult(dst []byte, r TrialResult) ([]byte, error) {
+	var err error
+	dst = append(dst, `{"Broken":`...)
+	dst = jsonenc.AppendBool(dst, r.Broken)
+	dst = append(dst, `,"HTMLCleanAny":`...)
+	dst = jsonenc.AppendBool(dst, r.HTMLCleanAny)
+	dst = append(dst, `,"HTMLCleanOrig":`...)
+	dst = jsonenc.AppendBool(dst, r.HTMLCleanOrig)
+	dst = append(dst, `,"HTMLIdentified":`...)
+	dst = jsonenc.AppendBool(dst, r.HTMLIdentified)
+	dst = append(dst, `,"HTMLDegree":`...)
+	if dst, err = jsonenc.AppendFloat64(dst, r.HTMLDegree); err != nil {
+		return dst, err
+	}
+	dst = append(dst, `,"TruthOrder":[`...)
+	for k, v := range r.TruthOrder {
+		if k > 0 {
+			dst = append(dst, ',')
+		}
+		dst = jsonenc.AppendInt(dst, int64(v))
+	}
+	dst = append(dst, `],"PredOrder":[`...)
+	for k, v := range r.PredOrder {
+		if k > 0 {
+			dst = append(dst, ',')
+		}
+		dst = jsonenc.AppendInt(dst, int64(v))
+	}
+	dst = append(dst, `],"ImageClean":[`...)
+	for k, v := range r.ImageClean {
+		if k > 0 {
+			dst = append(dst, ',')
+		}
+		dst = jsonenc.AppendBool(dst, v)
+	}
+	dst = append(dst, `],"Retransmissions":`...)
+	dst = jsonenc.AppendInt(dst, int64(r.Retransmissions))
+	dst = append(dst, `,"ReRequests":`...)
+	dst = jsonenc.AppendInt(dst, int64(r.ReRequests))
+	dst = append(dst, `,"Resets":`...)
+	dst = jsonenc.AppendInt(dst, int64(r.Resets))
+	dst = append(dst, `,"PageComplete":`...)
+	dst = jsonenc.AppendBool(dst, r.PageComplete)
+	dst = append(dst, `,"LoadTime":`...)
+	dst = jsonenc.AppendInt(dst, int64(r.LoadTime))
+	dst = append(dst, `,"Requests":`...)
+	if r.Requests == nil {
+		dst = append(dst, "null"...)
+	} else {
+		dst = append(dst, '[')
+		for k, l := range r.Requests {
+			if k > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendRequestLog(dst, l)
+		}
+		dst = append(dst, ']')
+	}
+	return append(dst, '}'), nil
+}
+
+// AppendSurveyResultLine is the survey campaign's pipeline.Appender:
+// the JSONL line is the SurveyResult alone (the params are implied by
+// the trial index).
+func AppendSurveyResultLine(dst []byte, _ int, _ CorpusTrialParams, r SurveyResult) ([]byte, error) {
+	return AppendSurveyResult(dst, r)
+}
+
+// AppendTrialResultLine is the sweep shards' pipeline.Appender; one
+// encoder serves all six fixed sweeps since they share TrialResult.
+func AppendTrialResultLine(dst []byte, _ int, _ TrialParams, r TrialResult) ([]byte, error) {
+	return AppendTrialResult(dst, r)
+}

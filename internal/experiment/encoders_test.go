@@ -1,0 +1,176 @@
+package experiment
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/h2sim"
+	"repro/internal/website"
+)
+
+// randomSurveyResult fills every field from the seeded stream,
+// including escape-needing shapes and awkward floats, so the
+// equivalence check exercises the full encoder surface.
+func randomSurveyResult(rng *rand.Rand) SurveyResult {
+	shapes := []string{"flat", "front-loaded", "back-loaded", "shape <&> \"quoted\"", "", "sp lit"}
+	degree := []float64{0, 1, 1.5, 63.0 / 7, 1e-7, 2.5e21, float64(rng.Intn(1000)) / 8}
+	return SurveyResult{
+		SiteSpec: website.SiteSpec{
+			Index:      rng.Intn(1 << 20),
+			Seed:       rng.Uint64(),
+			Objects:    rng.Intn(128),
+			Shape:      shapes[rng.Intn(len(shapes))],
+			TargetID:   rng.Intn(64),
+			TargetSize: rng.Intn(1 << 22),
+			TotalBytes: rng.Intn(1 << 28),
+		},
+		Rep:              rng.Intn(100),
+		TrialSeed:        rng.Int63() - rng.Int63(),
+		Broken:           rng.Intn(2) == 0,
+		PageComplete:     rng.Intn(2) == 0,
+		TargetClean:      rng.Intn(2) == 0,
+		TargetCleanOrig:  rng.Intn(2) == 0,
+		TargetIdentified: rng.Intn(2) == 0,
+		TargetDegree:     degree[rng.Intn(len(degree))],
+		Success:          rng.Intn(2) == 0,
+		Inferences:       rng.Intn(256),
+		Identified:       rng.Intn(256),
+		Retransmissions:  rng.Intn(64),
+		ReRequests:       rng.Intn(16),
+		Resets:           rng.Intn(16),
+		LoadTimeMs:       degree[rng.Intn(len(degree))] * 100,
+	}
+}
+
+// randomTrialResult covers nil and populated request logs plus the
+// fixed-size emblem arrays.
+func randomTrialResult(rng *rand.Rand) TrialResult {
+	r := TrialResult{
+		Broken:          rng.Intn(4) == 0,
+		HTMLCleanAny:    rng.Intn(2) == 0,
+		HTMLCleanOrig:   rng.Intn(2) == 0,
+		HTMLIdentified:  rng.Intn(2) == 0,
+		HTMLDegree:      []float64{0, 1, 2.25, 1e21, 7.0 / 3}[rng.Intn(5)],
+		Retransmissions: rng.Intn(64),
+		ReRequests:      rng.Intn(16),
+		Resets:          rng.Intn(16),
+		PageComplete:    rng.Intn(2) == 0,
+		LoadTime:        time.Duration(rng.Int63n(int64(10 * time.Second))),
+	}
+	for k := range r.TruthOrder {
+		r.TruthOrder[k] = rng.Intn(website.PartyCount)
+		r.PredOrder[k] = rng.Intn(website.PartyCount) - 1
+		r.ImageClean[k] = rng.Intn(2) == 0
+	}
+	if rng.Intn(4) > 0 {
+		r.Requests = make([]h2sim.RequestLog, rng.Intn(20))
+		for k := range r.Requests {
+			r.Requests[k] = h2sim.RequestLog{
+				Time:     time.Duration(rng.Int63n(int64(time.Minute))),
+				ObjectID: rng.Intn(128),
+				CopyID:   rng.Intn(8),
+				StreamID: uint32(rng.Intn(1 << 16)),
+				ReIssue:  rng.Intn(4) == 0,
+			}
+		}
+	}
+	return r
+}
+
+// TestAppendEncodersMatchJSON is the load-bearing equivalence suite:
+// every append encoder must produce byte-identical output to
+// json.Marshal for seeded random values, since checkpoint offsets and
+// shard concatenation assume the fast path and the reflection path
+// are interchangeable.
+func TestAppendEncodersMatchJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for n := 0; n < 2000; n++ {
+		sr := randomSurveyResult(rng)
+		want, err := json.Marshal(sr)
+		if err != nil {
+			t.Fatalf("json.Marshal(SurveyResult): %v", err)
+		}
+		got, err := AppendSurveyResult(nil, sr)
+		if err != nil {
+			t.Fatalf("AppendSurveyResult: %v", err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("SurveyResult drift:\n got %s\nwant %s", got, want)
+		}
+
+		tr := randomTrialResult(rng)
+		want, err = json.Marshal(tr)
+		if err != nil {
+			t.Fatalf("json.Marshal(TrialResult): %v", err)
+		}
+		got, err = AppendTrialResult(nil, tr)
+		if err != nil {
+			t.Fatalf("AppendTrialResult: %v", err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("TrialResult drift:\n got %s\nwant %s", got, want)
+		}
+
+		p := CorpusTrialParams{
+			Site: rng.Intn(1 << 20),
+			Rep:  rng.Intn(64),
+			Seed: rng.Int63() - rng.Int63(),
+			Mode: AdversaryMode(rng.Intn(5)),
+		}
+		want, err = json.Marshal(p)
+		if err != nil {
+			t.Fatalf("json.Marshal(CorpusTrialParams): %v", err)
+		}
+		if got := AppendCorpusTrialParams(nil, p); string(got) != string(want) {
+			t.Fatalf("CorpusTrialParams drift:\n got %s\nwant %s", got, want)
+		}
+	}
+}
+
+// TestAppendEncodersRejectBadFloats pins the error path: NaN degrees
+// must surface as encode errors (aborting the campaign), not corrupt
+// lines.
+func TestAppendEncodersRejectBadFloats(t *testing.T) {
+	if _, err := AppendSurveyResult(nil, SurveyResult{TargetDegree: math.NaN()}); err == nil {
+		t.Fatal("AppendSurveyResult: want error for NaN TargetDegree")
+	}
+	if _, err := AppendTrialResult(nil, TrialResult{HTMLDegree: math.Inf(1)}); err == nil {
+		t.Fatal("AppendTrialResult: want error for +Inf HTMLDegree")
+	}
+}
+
+// TestAppendLineZeroAllocs pins the steady-state allocation contract
+// of the export fast path: appending a line into a pre-grown buffer
+// allocates nothing.
+func TestAppendLineZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sr := randomSurveyResult(rng)
+	tr := randomTrialResult(rng)
+	if tr.Requests == nil {
+		tr.Requests = make([]h2sim.RequestLog, 4)
+	}
+	buf := make([]byte, 0, 1<<16)
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		buf, err = AppendSurveyResultLine(buf[:0], 0, CorpusTrialParams{}, sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendSurveyResultLine allocates %.1f/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		var err error
+		buf, err = AppendTrialResultLine(buf[:0], 0, TrialParams{}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendTrialResultLine allocates %.1f/op, want 0", allocs)
+	}
+}

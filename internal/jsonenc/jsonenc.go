@@ -1,0 +1,145 @@
+// Package jsonenc holds the append-based JSON encoding primitives
+// behind the export fast path. Every function appends the exact bytes
+// encoding/json would produce for the same value (json.Marshal's
+// default configuration: HTML escaping on, invalid UTF-8 repaired to
+// the \ufffd escape, ES6-style float formatting) without reflection
+// and without allocating beyond the destination buffer's growth.
+//
+// The byte-for-byte contract is load-bearing, not cosmetic: JSONL
+// checkpoints record file offsets, shard merges concatenate slices,
+// and resume tests cmp entire files — an encoder that drifted from
+// json.Marshal by one byte would silently corrupt every one of those
+// guarantees. The equivalence suites in this package and the
+// consuming packages (internal/experiment, internal/obs) pin the
+// contract against the reflection encoder under seeded random inputs.
+package jsonenc
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+const hexDigits = "0123456789abcdef"
+
+// htmlSafeSet mirrors encoding/json's table: true for ASCII bytes
+// that can appear verbatim inside a JSON string when HTML escaping is
+// on (everything printable except '"', '\\', '<', '>', '&').
+var htmlSafeSet = [utf8.RuneSelf]bool{}
+
+func init() {
+	for b := 0x20; b < utf8.RuneSelf; b++ {
+		switch b {
+		case '"', '\\', '<', '>', '&':
+		default:
+			htmlSafeSet[b] = true
+		}
+	}
+}
+
+// AppendString appends s as a JSON string literal (including the
+// surrounding quotes), byte-identical to json.Marshal(s): control
+// characters and the HTML-sensitive set escaped, invalid UTF-8
+// replaced with the \ufffd escape, U+2028/U+2029 escaped.
+func AppendString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if htmlSafeSet[b] {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				// Bytes < 0x20 without a shorthand, plus <, > and &.
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			// Invalid UTF-8 becomes the six-byte escape text \ufffd,
+			// exactly as encoding/json emits it.
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		// U+2028 and U+2029 break JSONP; encoding/json escapes them
+		// unconditionally, so the equivalence contract requires it.
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	dst = append(dst, '"')
+	return dst
+}
+
+// AppendInt appends v in base 10.
+func AppendInt(dst []byte, v int64) []byte {
+	return strconv.AppendInt(dst, v, 10)
+}
+
+// AppendUint appends v in base 10.
+func AppendUint(dst []byte, v uint64) []byte {
+	return strconv.AppendUint(dst, v, 10)
+}
+
+// AppendBool appends "true" or "false".
+func AppendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, "true"...)
+	}
+	return append(dst, "false"...)
+}
+
+// AppendFloat64 appends f formatted as json.Marshal formats a
+// float64: shortest representation, fixed-point inside [1e-6, 1e21),
+// exponent form outside it with single-digit negative exponents
+// unpadded ("1e-7", not "1e-07"). NaN and infinities are unencodable
+// in JSON and return an error, matching json.Marshal's
+// UnsupportedValueError.
+func AppendFloat64(dst []byte, f float64) ([]byte, error) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return dst, fmt.Errorf("jsonenc: unsupported value: %s", strconv.FormatFloat(f, 'g', -1, 64))
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	n := len(dst)
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, exactly as encoding/json does.
+		if m := len(dst); m-n >= 4 && dst[m-4] == 'e' && dst[m-3] == '-' && dst[m-2] == '0' {
+			dst[m-2] = dst[m-1]
+			dst = dst[:m-1]
+		}
+	}
+	return dst, nil
+}

@@ -1,0 +1,114 @@
+package jsonenc
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestAppendStringMatchesJSON pins AppendString against json.Marshal
+// over hand-picked escape cases and seeded random byte soup (valid and
+// invalid UTF-8 alike).
+func TestAppendStringMatchesJSON(t *testing.T) {
+	cases := []string{
+		"",
+		"plain ascii",
+		`quotes " and \ backslash`,
+		"tabs\tnewlines\ncarriage\rreturns",
+		"\b\f\x00\x01\x1f",
+		"html <b>&amp;</b> sensitive",
+		"unicode: héllo wörld — ünïcode",
+		"line sep   and para sep  ",
+		" ",
+		"invalid \xff utf8 \xc3\x28 tail \xe2\x80",
+		"mixed \xffvalid <&>\t",
+		strings.Repeat("a", 1000) + "\x02" + strings.Repeat(" ", 3),
+	}
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n < 500; n++ {
+		b := make([]byte, rng.Intn(64))
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		cases = append(cases, string(b))
+	}
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("json.Marshal(%q): %v", s, err)
+		}
+		got := AppendString(nil, s)
+		if string(got) != string(want) {
+			t.Fatalf("AppendString(%q):\n got %s\nwant %s", s, got, want)
+		}
+	}
+}
+
+// TestAppendFloat64MatchesJSON pins the float formatting (ES6-style
+// exponent cutoffs, unpadded single-digit negative exponents) against
+// json.Marshal over edge cases and seeded random values.
+func TestAppendFloat64MatchesJSON(t *testing.T) {
+	cases := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, 100, 63.5,
+		1e-6, 9.999999e-7, 1e-7, 1e21, 9.99e20, 1e22, -1e-9, -2.5e21,
+		math.MaxFloat64, math.SmallestNonzeroFloat64,
+		123456789.123456789, 0.1, 1.0 / 3.0,
+	}
+	rng := rand.New(rand.NewSource(2))
+	for n := 0; n < 2000; n++ {
+		f := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		cases = append(cases, f, f*1e-20, f*1e20, float64(rng.Int63n(1_000_000)))
+	}
+	for _, f := range cases {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatalf("json.Marshal(%v): %v", f, err)
+		}
+		got, err := AppendFloat64(nil, f)
+		if err != nil {
+			t.Fatalf("AppendFloat64(%v): %v", f, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("AppendFloat64(%v):\n got %s\nwant %s", f, got, want)
+		}
+	}
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := AppendFloat64(nil, f); err == nil {
+			t.Fatalf("AppendFloat64(%v): want error, got none", f)
+		}
+	}
+}
+
+// TestAppendScalars covers the trivial encoders.
+func TestAppendScalars(t *testing.T) {
+	if got := string(AppendInt(nil, -42)); got != "-42" {
+		t.Fatalf("AppendInt: %s", got)
+	}
+	if got := string(AppendUint(nil, 18446744073709551615)); got != "18446744073709551615" {
+		t.Fatalf("AppendUint: %s", got)
+	}
+	if got := string(AppendBool(AppendBool(nil, true), false)); got != "truefalse" {
+		t.Fatalf("AppendBool: %s", got)
+	}
+}
+
+// TestAppendStringZeroAlloc pins the steady-state allocation count:
+// appending into a pre-grown buffer must not allocate.
+func TestAppendStringZeroAlloc(t *testing.T) {
+	buf := make([]byte, 0, 1024)
+	const s = "a survey line with <html> & unicode   and \xff bytes"
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = AppendString(buf[:0], s)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendString allocates %.1f times per call, want 0", allocs)
+	}
+}

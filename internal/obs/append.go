@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/jsonenc"
+)
+
+// This file is the append-based encoder behind MarshalSweeps: the
+// -metrics-json wire form built without reflection, byte-identical to
+// json.MarshalIndent over the same structures (two-space indent,
+// ": " after keys, compact empty arrays, omitempty slices dropped).
+// The equivalence test in append_test.go pins it against the
+// reflection reference — the shard-merge CI gate cmp's these files,
+// so drift here is corruption, not style.
+
+// appendNL appends a newline plus depth levels of two-space indent.
+func appendNL(dst []byte, depth int) []byte {
+	dst = append(dst, '\n')
+	for i := 0; i < depth; i++ {
+		dst = append(dst, ' ', ' ')
+	}
+	return dst
+}
+
+// appendBucketList appends a histogram's non-empty buckets as the
+// packed {le, count} list (packBuckets' wire form, indent style),
+// without materializing the intermediate slice.
+func appendBucketList(dst []byte, h *Hist, depth int) []byte {
+	dst = append(dst, '[')
+	first := true
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		if !first {
+			dst = append(dst, ',')
+		}
+		first = false
+		dst = appendNL(dst, depth+1)
+		dst = append(dst, '{')
+		dst = appendNL(dst, depth+2)
+		dst = append(dst, `"le": `...)
+		dst = jsonenc.AppendUint(dst, 1<<uint(i)-1)
+		dst = append(dst, ',')
+		dst = appendNL(dst, depth+2)
+		dst = append(dst, `"count": `...)
+		dst = jsonenc.AppendUint(dst, c)
+		dst = appendNL(dst, depth+1)
+		dst = append(dst, '}')
+	}
+	dst = appendNL(dst, depth)
+	return append(dst, ']')
+}
+
+// appendHistValue mirrors HistValue.MarshalJSON (name, count, sum,
+// p50_le, p99_le, buckets omitempty), re-indented as MarshalIndent
+// would.
+func appendHistValue(dst []byte, h *HistValue, depth int) []byte {
+	dst = append(dst, '{')
+	dst = appendNL(dst, depth+1)
+	dst = append(dst, `"name": `...)
+	dst = jsonenc.AppendString(dst, h.Name)
+	dst = append(dst, ',')
+	dst = appendNL(dst, depth+1)
+	dst = append(dst, `"count": `...)
+	dst = jsonenc.AppendUint(dst, h.Hist.Count)
+	dst = append(dst, ',')
+	dst = appendNL(dst, depth+1)
+	dst = append(dst, `"sum": `...)
+	dst = jsonenc.AppendUint(dst, h.Hist.Sum)
+	dst = append(dst, ',')
+	dst = appendNL(dst, depth+1)
+	dst = append(dst, `"p50_le": `...)
+	dst = jsonenc.AppendUint(dst, h.Hist.Quantile(0.50))
+	dst = append(dst, ',')
+	dst = appendNL(dst, depth+1)
+	dst = append(dst, `"p99_le": `...)
+	dst = jsonenc.AppendUint(dst, h.Hist.Quantile(0.99))
+	empty := true
+	for _, c := range h.Hist.Buckets {
+		if c != 0 {
+			empty = false
+			break
+		}
+	}
+	if !empty {
+		dst = append(dst, ',')
+		dst = appendNL(dst, depth+1)
+		dst = append(dst, `"buckets": `...)
+		dst = appendBucketList(dst, &h.Hist, depth+1)
+	}
+	dst = appendNL(dst, depth)
+	return append(dst, '}')
+}
+
+// appendSegment mirrors SegmentSnapshot's reflection encoding (label,
+// counters omitempty, histograms omitempty).
+func appendSegment(dst []byte, seg *SegmentSnapshot, depth int) []byte {
+	dst = append(dst, '{')
+	dst = appendNL(dst, depth+1)
+	dst = append(dst, `"label": `...)
+	dst = jsonenc.AppendString(dst, seg.Label)
+	if len(seg.Counters) > 0 {
+		dst = append(dst, ',')
+		dst = appendNL(dst, depth+1)
+		dst = append(dst, `"counters": [`...)
+		for k := range seg.Counters {
+			if k > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendNL(dst, depth+2)
+			dst = append(dst, '{')
+			dst = appendNL(dst, depth+3)
+			dst = append(dst, `"name": `...)
+			dst = jsonenc.AppendString(dst, seg.Counters[k].Name)
+			dst = append(dst, ',')
+			dst = appendNL(dst, depth+3)
+			dst = append(dst, `"value": `...)
+			dst = jsonenc.AppendUint(dst, seg.Counters[k].Value)
+			dst = appendNL(dst, depth+2)
+			dst = append(dst, '}')
+		}
+		dst = appendNL(dst, depth+1)
+		dst = append(dst, ']')
+	}
+	if len(seg.Hists) > 0 {
+		dst = append(dst, ',')
+		dst = appendNL(dst, depth+1)
+		dst = append(dst, `"histograms": [`...)
+		for k := range seg.Hists {
+			if k > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendNL(dst, depth+2)
+			dst = appendHistValue(dst, &seg.Hists[k], depth+2)
+		}
+		dst = appendNL(dst, depth+1)
+		dst = append(dst, ']')
+	}
+	dst = appendNL(dst, depth)
+	return append(dst, '}')
+}
+
+// AppendSweeps appends the -metrics-json document for a sweep-name →
+// snapshot map: stable sorted sweep order, deterministic sections
+// only, byte-identical to the json.MarshalIndent form MarshalSweeps
+// produced before the fast path existed.
+func AppendSweeps(dst []byte, sweeps map[string]*Snapshot) []byte {
+	names := make([]string, 0, len(sweeps))
+	for n := range sweeps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	dst = append(dst, '{')
+	dst = appendNL(dst, 1)
+	dst = append(dst, `"sweeps": `...)
+	if len(names) == 0 {
+		// A nil slice marshals as null, matching the reference.
+		dst = append(dst, "null"...)
+	} else {
+		dst = append(dst, '[')
+		for k, n := range names {
+			if k > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendNL(dst, 2)
+			snap := sweeps[n]
+			dst = append(dst, '{')
+			dst = appendNL(dst, 3)
+			dst = append(dst, `"sweep": `...)
+			dst = jsonenc.AppendString(dst, n)
+			dst = append(dst, ',')
+			dst = appendNL(dst, 3)
+			dst = append(dst, `"segments": `...)
+			switch {
+			case snap.Segments == nil:
+				dst = append(dst, "null"...)
+			case len(snap.Segments) == 0:
+				dst = append(dst, '[', ']')
+			default:
+				dst = append(dst, '[')
+				for s := range snap.Segments {
+					if s > 0 {
+						dst = append(dst, ',')
+					}
+					dst = appendNL(dst, 4)
+					dst = appendSegment(dst, &snap.Segments[s], 4)
+				}
+				dst = appendNL(dst, 3)
+				dst = append(dst, ']')
+			}
+			dst = appendNL(dst, 2)
+			dst = append(dst, '}')
+		}
+		dst = appendNL(dst, 1)
+		dst = append(dst, ']')
+	}
+	dst = append(dst, '\n', '}')
+	return dst
+}

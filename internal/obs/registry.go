@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/bits"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -419,21 +418,9 @@ func (s *Snapshot) writeSegments(b *strings.Builder) {
 // human-readable -metrics text), so the file is byte-identical for
 // the same trials at any worker count and for any process sharding —
 // the property the shard-merge CI gate cmp's.
+// The document is built by the append fast path (AppendSweeps); the
+// equivalence test pins it byte-for-byte against the reflection
+// encoding it replaced.
 func MarshalSweeps(sweeps map[string]*Snapshot) ([]byte, error) {
-	names := make([]string, 0, len(sweeps))
-	for n := range sweeps {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	type entry struct {
-		Sweep string `json:"sweep"`
-		*Snapshot
-	}
-	out := struct {
-		Sweeps []entry `json:"sweeps"`
-	}{}
-	for _, n := range names {
-		out.Sweeps = append(out.Sweeps, entry{Sweep: n, Snapshot: sweeps[n].Deterministic()})
-	}
-	return json.MarshalIndent(out, "", "  ")
+	return AppendSweeps(nil, sweeps), nil
 }

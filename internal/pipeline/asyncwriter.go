@@ -1,0 +1,176 @@
+package pipeline
+
+import "sync"
+
+// DefaultExportQueue is the async export stage's queue depth when
+// Config.ExportQueue is zero.
+const DefaultExportQueue = 256
+
+// exportItem is one unit of writer-goroutine work: a trial to export,
+// or (ckpt true) a periodic checkpoint token carrying the next trial
+// index. Tokens ride the same FIFO as the trials, so by the time the
+// writer processes one, every prior trial's bytes have been handed to
+// the exporters — the checkpoint barriers on queue drain by
+// construction, and the recorded offsets are durable bytes.
+//
+// Only the result rides the queue: trial params are a cheap pure
+// function of the index (the Generator contract), so the writer
+// re-derives them instead of copying potentially large param structs
+// through the FIFO.
+type exportItem[R any] struct {
+	i    int
+	r    R
+	ckpt bool
+}
+
+// exportQueue is the bounded, order-preserving handoff between the
+// runner's strict-order emit goroutine and the export writer
+// goroutine: a double-buffer queue (producer appends to one slice
+// while the writer drains the other; a swap under the lock exchanges
+// them) so encode+write overlap trial compute without per-item
+// channel traffic or steady-state allocation. The single producer and
+// single consumer preserve index order end to end.
+type exportQueue[R any] struct {
+	mu       sync.Mutex
+	notFull  sync.Cond
+	notEmpty sync.Cond
+	buf      []exportItem[R] // producer side of the double buffer
+	spare    []exportItem[R] // writer side, swapped back in
+	depth    int
+	wakeAt   int // queue length that wakes an idle writer
+	closed   bool
+	failed   error
+	done     chan struct{}
+	process  func(*exportItem[R]) error
+}
+
+// newExportQueue starts the writer goroutine. process handles one
+// item (export or checkpoint token); its first error stops the writer
+// and surfaces through put/close.
+func newExportQueue[R any](depth int, process func(*exportItem[R]) error) *exportQueue[R] {
+	if depth < 1 {
+		depth = 1
+	}
+	q := &exportQueue[R]{
+		buf:     make([]exportItem[R], 0, depth),
+		spare:   make([]exportItem[R], 0, depth),
+		depth:   depth,
+		wakeAt:  (depth + 1) / 2,
+		done:    make(chan struct{}),
+		process: process,
+	}
+	q.notFull.L = &q.mu
+	q.notEmpty.L = &q.mu
+	go q.writer()
+	return q
+}
+
+// putTrial enqueues one trial, blocking while the queue is full
+// (backpressure bounds memory to ~2*depth items in flight). The
+// result is copied once, directly into the queue slot — results can
+// be large structs, so the hot path avoids passing them by value. It
+// returns false once the writer has failed; the producer should stop
+// and read err().
+func (q *exportQueue[R]) putTrial(i int, r *R) bool {
+	q.mu.Lock()
+	if !q.waitSlot() {
+		q.mu.Unlock()
+		return false
+	}
+	q.buf = append(q.buf, exportItem[R]{i: i})
+	q.buf[len(q.buf)-1].r = *r
+	q.wake()
+	q.mu.Unlock()
+	return true
+}
+
+// putCkpt enqueues a checkpoint token recording next as the resume
+// index once everything before it has drained.
+func (q *exportQueue[R]) putCkpt(next int) bool {
+	q.mu.Lock()
+	if !q.waitSlot() {
+		q.mu.Unlock()
+		return false
+	}
+	q.buf = append(q.buf, exportItem[R]{i: next, ckpt: true})
+	q.wake()
+	q.mu.Unlock()
+	return true
+}
+
+// waitSlot blocks until the producer buffer has room, reporting false
+// on writer failure. Caller holds q.mu.
+func (q *exportQueue[R]) waitSlot() bool {
+	for len(q.buf) >= q.depth && q.failed == nil {
+		q.notFull.Wait()
+	}
+	return q.failed == nil
+}
+
+// wake signals the writer on the upward crossing of wakeAt. Wake
+// hysteresis: an idle writer is only woken once half the depth has
+// accumulated (or at close), so a producer that outruns the writer
+// pays one futex wake per ~depth/2 items instead of one per item.
+// Nothing downstream needs lower latency — checkpoint tokens are
+// periodic best-effort and close() drains the queue. The writer only
+// sleeps on an empty buffer, so every upward crossing of wakeAt finds
+// it either waiting (gets the signal) or already draining. Caller
+// holds q.mu.
+func (q *exportQueue[R]) wake() {
+	if len(q.buf) == q.wakeAt {
+		q.notEmpty.Signal()
+	}
+}
+
+// err reports the writer's failure, if any.
+func (q *exportQueue[R]) err() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.failed
+}
+
+// close marks the queue finished, waits for the writer to drain every
+// queued item, and returns its error. After close returns, no
+// goroutine touches the exporters — the caller may checkpoint and
+// Close them directly.
+func (q *exportQueue[R]) close() error {
+	q.mu.Lock()
+	q.closed = true
+	q.notEmpty.Signal()
+	q.mu.Unlock()
+	<-q.done
+	return q.failed
+}
+
+// writer drains batches in FIFO order until close (or failure). On a
+// failing item the remaining queued work is discarded: the last
+// periodic checkpoint the writer completed is the resume point, and
+// anything after it re-runs on resume.
+func (q *exportQueue[R]) writer() {
+	defer close(q.done)
+	for {
+		q.mu.Lock()
+		for len(q.buf) == 0 && !q.closed {
+			q.notEmpty.Wait()
+		}
+		if len(q.buf) == 0 {
+			q.mu.Unlock()
+			return
+		}
+		batch := q.buf
+		q.buf = q.spare[:0]
+		q.spare = batch
+		q.notFull.Broadcast()
+		q.mu.Unlock()
+		for k := range batch {
+			if err := q.process(&batch[k]); err != nil {
+				q.mu.Lock()
+				q.failed = err
+				q.buf = q.buf[:0]
+				q.notFull.Broadcast()
+				q.mu.Unlock()
+				return
+			}
+		}
+	}
+}

@@ -20,6 +20,19 @@ type Meta struct {
 	// Resumed reports whether exporter state was restored from a
 	// checkpoint before Begin.
 	Resumed bool
+
+	// WriterBuf, when positive, is the campaign's requested writer
+	// buffer size in bytes (Config.WriterBuf). File-backed exporters
+	// should prefer it over their own defaults; it never affects the
+	// bytes written, only how they are batched.
+	WriterBuf int
+
+	// AsyncExport reports that the campaign runs its exporters on the
+	// pipelined export stage (Config.ExportQueue >= 0). File-backed
+	// exporters may use write-behind buffering — their writes already
+	// happen off the emit goroutine, so an extra flusher goroutine
+	// overlaps encode with file I/O without reordering anything.
+	AsyncExport bool
 }
 
 // Exporter consumes the pipeline's ordered result stream. It is the
@@ -80,10 +93,17 @@ func NewCollector[P, R any](n int) *Collector[P, R] {
 // Name implements Exporter.
 func (c *Collector[P, R]) Name() string { return "collect" }
 
-// Begin implements Exporter.
+// Begin implements Exporter. The backing slice is pre-sized to the
+// campaign's trial count so million-trial collects append without
+// regrowth.
 func (c *Collector[P, R]) Begin(m Meta) error {
 	if m.Start != 0 {
 		return fmt.Errorf("pipeline: Collector cannot resume mid-campaign (start %d)", m.Start)
+	}
+	if cap(c.results) < m.Trials {
+		grown := make([]R, len(c.results), m.Trials)
+		copy(grown, c.results)
+		c.results = grown
 	}
 	return nil
 }

@@ -118,6 +118,23 @@ type Config struct {
 	// in-flight trials — is what keeps execution-time side effects
 	// (metrics shards) exact across the stop/resume boundary.
 	Stop <-chan struct{}
+
+	// ExportQueue tunes the pipelined export stage: a bounded,
+	// order-preserving queue hands each trial from the emit goroutine
+	// to a dedicated writer goroutine, so encode+write overlap trial
+	// compute. Zero selects DefaultExportQueue (256) items; positive
+	// values set the depth; negative disables the stage and exports
+	// run inline on the emit goroutine. Periodic checkpoints ride the
+	// queue as tokens, so a checkpoint always records the durable
+	// bytes of exactly the trials before it — output bytes and
+	// resume/kill semantics are identical on both paths.
+	ExportQueue int
+
+	// WriterBuf, when positive, is handed to exporters via
+	// Meta.WriterBuf as the preferred writer buffer size in bytes
+	// (JSONL uses it for its bufio.Writer, overriding its default).
+	// Batching only; never affects exported bytes.
+	WriterBuf int
 }
 
 // Summary reports what one Run invocation did.
@@ -226,11 +243,46 @@ func Run[P, R, S any](cfg Config, gen Generator[P], newState func() S, trial fun
 		return ck.save(next, done, states)
 	}
 
-	meta := Meta{Name: gen.Name(), Trials: n, Start: sum.Start, Resumed: resumed}
+	meta := Meta{
+		Name: gen.Name(), Trials: n, Start: sum.Start, Resumed: resumed,
+		WriterBuf: cfg.WriterBuf, AsyncExport: cfg.ExportQueue >= 0,
+	}
 	for _, e := range exporters {
 		if err := e.Begin(meta); err != nil {
 			return sum, fmt.Errorf("pipeline: exporter %q: %w", e.Name(), err)
 		}
+	}
+
+	// doExport streams one trial to every exporter, serialized and in
+	// index order on whichever goroutine owns the export stage.
+	doExport := func(i int, p *P, r *R) error {
+		for _, e := range exporters {
+			if err := e.Export(i, *p, *r); err != nil {
+				return fmt.Errorf("pipeline: exporter %q at trial %d: %w", e.Name(), i, err)
+			}
+		}
+		return nil
+	}
+
+	// The pipelined export stage (unless disabled): trials and
+	// periodic checkpoint tokens flow through a bounded FIFO to one
+	// writer goroutine, which is then the only goroutine touching the
+	// exporters until close() drains it. Exported bytes, checkpoint
+	// contents, and error semantics match the inline path exactly —
+	// only the overlap with trial compute differs.
+	var q *exportQueue[R]
+	if cfg.ExportQueue >= 0 {
+		depth := cfg.ExportQueue
+		if depth == 0 {
+			depth = DefaultExportQueue
+		}
+		q = newExportQueue(depth, func(it *exportItem[R]) error {
+			if it.ckpt {
+				return saveCheckpoint(it.i, false)
+			}
+			p := gen.Params(it.i)
+			return doExport(it.i, &p, &it.r)
+		})
 	}
 
 	every := cfg.CheckpointEvery
@@ -258,12 +310,24 @@ func Run[P, R, S any](cfg Config, gen Generator[P], newState func() S, trial fun
 		if err != nil {
 			sum.Failures = append(sum.Failures, err)
 		}
-		p := gen.Params(i)
-		for _, e := range exporters {
-			if expErr := e.Export(i, p, result); expErr != nil {
-				runErr = fmt.Errorf("pipeline: exporter %q at trial %d: %w", e.Name(), i, expErr)
+		if q != nil {
+			if !q.putTrial(i, &result) {
+				runErr = q.err()
 				return false
 			}
+			exported++
+			if ck != nil && exported%every == 0 {
+				if !q.putCkpt(i + 1) {
+					runErr = q.err()
+					return false
+				}
+			}
+			return true
+		}
+		p := gen.Params(i)
+		if expErr := doExport(i, &p, &result); expErr != nil {
+			runErr = expErr
+			return false
 		}
 		exported++
 		if ck != nil && exported%every == 0 {
@@ -274,6 +338,14 @@ func Run[P, R, S any](cfg Config, gen Generator[P], newState func() S, trial fun
 		}
 		return true
 	})
+	if q != nil {
+		// Drain the writer before any final checkpoint or Close: after
+		// this, every executed trial's bytes have reached the
+		// exporters and no other goroutine touches them.
+		if qErr := q.close(); qErr != nil && runErr == nil {
+			runErr = qErr
+		}
+	}
 
 	sum.Exported = sum.Start + exported
 	if runErr != nil {

@@ -1,0 +1,198 @@
+package pipeline
+
+import (
+	"io"
+	"sync"
+)
+
+// writeBehind is a buffered writer whose underlying writes happen on
+// a dedicated flusher goroutine: the caller fills one chunk while the
+// flusher writes the previous one, overlapping encode with file I/O.
+// It is the async export stage's second pipeline step — the queue
+// moves encode+write off the emit goroutine, the write-behind buffer
+// moves the write syscalls off the encode path.
+//
+// Ordering and durability: chunks are handed to the single flusher in
+// fill order, so the byte stream is exactly the inline one. Flush
+// waits for the flusher to go idle and then writes the partial chunk
+// inline — when it returns, every byte is in the file, which is what
+// lets checkpoints record offsets as durable. A flusher error is
+// sticky and surfaces on the next Write or Flush; later chunks are
+// discarded, matching bufio.Writer's behavior after a write error.
+type writeBehind struct {
+	dst io.Writer
+
+	mu      sync.Mutex
+	handoff sync.Cond
+	cur     []byte // chunk being filled by Write
+	pending []byte // chunk queued for the flusher (nil when none)
+	free    []byte // spare chunk, returned by the flusher
+	size    int
+	err     error
+	closed  bool
+	done    chan struct{}
+}
+
+// chunkPool recycles write-behind chunks across campaigns: a process
+// that runs many campaigns (shard sweeps, benchmarks) reuses warm
+// pages instead of faulting in fresh ones per Begin.
+var chunkPool sync.Pool
+
+// getChunk returns a zero-length chunk with at least size capacity.
+func getChunk(size int) []byte {
+	if c, ok := chunkPool.Get().(*[]byte); ok && cap(*c) >= size {
+		return (*c)[:0]
+	}
+	return make([]byte, 0, size)
+}
+
+// newWriteBehind starts the flusher goroutine. size is the chunk
+// size; two chunks are in flight at most, so peak buffering is
+// 2*size bytes.
+func newWriteBehind(dst io.Writer, size int) *writeBehind {
+	if size < 1 {
+		size = 1
+	}
+	w := &writeBehind{
+		dst:  dst,
+		cur:  getChunk(size),
+		free: getChunk(size),
+		size: size,
+		done: make(chan struct{}),
+	}
+	w.handoff.L = &w.mu
+	go w.flusher()
+	return w
+}
+
+// Write fills the current chunk, handing full chunks to the flusher.
+// It blocks only while both chunks are busy (the flusher sets the
+// write pace, as an inline writer's syscalls would).
+func (w *writeBehind) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if len(w.cur) == w.size {
+			if err := w.rotate(); err != nil {
+				return 0, err
+			}
+		}
+		c := copy(w.cur[len(w.cur):w.size], p)
+		w.cur = w.cur[:len(w.cur)+c]
+		p = p[c:]
+	}
+	return n, nil
+}
+
+// appendBuf returns the current chunk for in-place appends: callers
+// encode directly into it (skipping a scratch-buffer copy) and hand
+// the extended slice back through commitAppend. Bytes past the
+// returned slice's length are uncommitted — an abandoned append
+// simply never commits.
+func (w *writeBehind) appendBuf() []byte { return w.cur }
+
+// commitAppend installs buf — appendBuf extended in place (or grown)
+// — as the current chunk, rotating it to the flusher once it reaches
+// the chunk size. A single append longer than the chunk size just
+// ships as one oversized chunk.
+func (w *writeBehind) commitAppend(buf []byte) error {
+	w.cur = buf
+	if len(buf) >= w.size {
+		return w.rotate()
+	}
+	return nil
+}
+
+// rotate queues the full current chunk for the flusher and takes the
+// spare as the new fill target, waiting for the flusher to free one
+// if both are busy.
+func (w *writeBehind) rotate() error {
+	w.mu.Lock()
+	for w.pending != nil && w.err == nil {
+		w.handoff.Wait()
+	}
+	if w.err != nil {
+		w.mu.Unlock()
+		return w.err
+	}
+	w.pending = w.cur
+	w.cur = w.free[:0]
+	w.free = nil
+	w.handoff.Signal()
+	w.mu.Unlock()
+	return nil
+}
+
+// Flush drains the flusher and writes the partial chunk inline; on
+// return every byte handed to Write is in dst.
+func (w *writeBehind) Flush() error {
+	w.mu.Lock()
+	for w.pending != nil && w.err == nil {
+		w.handoff.Wait()
+	}
+	err := w.err
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// The flusher only touches dst while a pending chunk exists, so
+	// with the queue drained the inline write cannot race it.
+	if len(w.cur) > 0 {
+		if _, err := w.dst.Write(w.cur); err != nil {
+			w.mu.Lock()
+			w.err = err
+			w.mu.Unlock()
+			return err
+		}
+		w.cur = w.cur[:0]
+	}
+	return nil
+}
+
+// stop terminates the flusher goroutine and returns the chunks to the
+// pool. It does not flush; callers flush first if they want the tail
+// written.
+func (w *writeBehind) stop() {
+	w.mu.Lock()
+	w.closed = true
+	w.handoff.Signal()
+	w.mu.Unlock()
+	<-w.done
+	// The flusher is gone; no goroutine touches the chunks now.
+	if w.cur != nil {
+		c := w.cur[:0]
+		chunkPool.Put(&c)
+		w.cur = nil
+	}
+	if w.free != nil {
+		c := w.free[:0]
+		chunkPool.Put(&c)
+		w.free = nil
+	}
+}
+
+// flusher writes queued chunks in hand-off order. On a write error it
+// records the error and keeps draining (discarding chunks) so
+// producers never deadlock against a dead writer.
+func (w *writeBehind) flusher() {
+	defer close(w.done)
+	w.mu.Lock()
+	for {
+		for w.pending == nil && !w.closed {
+			w.handoff.Wait()
+		}
+		if w.pending == nil {
+			w.mu.Unlock()
+			return
+		}
+		chunk := w.pending
+		w.mu.Unlock()
+		_, err := w.dst.Write(chunk)
+		w.mu.Lock()
+		w.pending = nil
+		w.free = chunk[:0]
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+		w.handoff.Signal()
+	}
+}

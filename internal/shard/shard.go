@@ -265,6 +265,11 @@ func (s *Set) ConcatResults(name string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// One 1 MiB copy buffer reused across every slice: multi-gigabyte
+	// bundle merges move in large reads instead of io.Copy's default
+	// 32 KiB chunks (w is typically not a ReaderFrom here, so the
+	// buffer is what sets the syscall granularity).
+	var buf []byte
 	for _, cm := range slices {
 		if cm.Start == cm.End {
 			continue
@@ -276,7 +281,10 @@ func (s *Set) ConcatResults(name string, w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("shard: %w", err)
 		}
-		_, err = io.Copy(w, f)
+		if buf == nil {
+			buf = make([]byte, 1<<20)
+		}
+		_, err = io.CopyBuffer(w, f, buf)
 		f.Close()
 		if err != nil {
 			return fmt.Errorf("shard: concat %s: %w", cm.Results, err)
