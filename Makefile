@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain go tooling underneath.
 
-.PHONY: ci test bench bench-compare bench-profile check-golden experiments profile survey-smoke shard-smoke
+.PHONY: ci test bench bench-compare bench-profile check-golden experiments profile survey-smoke shard-smoke telemetry-smoke
 
 # The CI gate: vet + build + race-enabled tests (scripts/ci.sh).
 ci:
@@ -87,6 +87,14 @@ shard-smoke:
 	cmp campaigns/shardsmoke/single.jsonl campaigns/shardsmoke/merged.jsonl
 	cmp campaigns/shardsmoke/single.metrics.json campaigns/shardsmoke/merged.metrics.json
 	@echo "shard-smoke OK"
+
+# Live-telemetry smoke: a race-built survey with -status on a random
+# port, /metrics and /status scraped mid-run and checked for
+# well-formed live values, then the campaign stdout + JSONL
+# byte-compared against a telemetry-off reference at -j 1 and -j 8
+# (scripts/telemetry_smoke.sh). Mirrors the CI telemetry-smoke job.
+telemetry-smoke:
+	sh scripts/telemetry_smoke.sh
 
 # Regenerate the reference run recorded in experiments_output.txt
 # (deterministic: identical at any -j; see EXPERIMENTS.md). Written to

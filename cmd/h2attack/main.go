@@ -13,6 +13,8 @@
 //	h2attack -trial -seed 42    # one verbose full-attack trial
 //	h2attack -events 42         # flight-recorder dump of one trial
 //	                            # (seed=42 also accepted)
+//	h2attack -events-trace trial.json -seed 42
+//	                            # the same ring as a Perfetto timeline
 //
 // Survey campaigns run the attack against a synthetic site corpus
 // through the streaming pipeline, with checkpointed resume:
@@ -43,6 +45,13 @@
 // seeds derive from the trial index, not the worker. -progress shows
 // a live completion/ETA line on stderr.
 //
+// -status ADDR serves live wall-side telemetry while any campaign
+// runs: /metrics (Prometheus text), /status (JSON progress and health
+// gauges), /events?seed=N (on-demand flight-recorder replay). The
+// plane samples atomics the trial paths update; nothing it observes
+// feeds back into campaign output, which stays byte-identical with it
+// on or off.
+//
 // -metrics prints a cross-layer metrics summary after each sweep
 // (counters and histograms per configuration segment, plus wall-clock
 // throughput); -metrics-json FILE exports the same snapshots as JSON
@@ -58,7 +67,6 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
-	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/obs"
@@ -83,6 +91,8 @@ func run() int {
 		metrics    = flag.Bool("metrics", false, "print a cross-layer metrics summary after each sweep")
 		metricsOut = flag.String("metrics-json", "", "write every sweep's metrics snapshot into this one JSON file")
 		events     = flag.String("events", "", "dump one full-attack trial's flight-recorder events (value: seed=N or N)")
+		evTrace    = flag.String("events-trace", "", "write one trial's flight recorder as Perfetto trace_event JSON to this file (trial from -events, else -seed)")
+		status     = flag.String("status", "", "serve live campaign telemetry on this address (/metrics, /status, /events?seed=N); never affects campaign output")
 		trials     = flag.Int("trials", 100, "page loads per configuration")
 		seed       = flag.Int64("seed", 1, "base seed (trial i uses seed+i)")
 		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "trial worker goroutines per sweep (1 = serial)")
@@ -137,25 +147,31 @@ func run() int {
 		}()
 	}
 
+	// The telemetry plane is wall-side only: with -status unset it is
+	// inert (nil gauges, no server); either way campaign output is
+	// byte-identical.
+	tp, err := startTelemetry(*status)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "h2attack: -status: %v\n", err)
+		return 1
+	}
+	defer tp.shutdown()
+
 	// sweepOpts builds the per-sweep execution options: the worker
-	// count plus, with -progress, a stderr ticker. Results do not
-	// depend on either (trial seeds derive from the trial index).
+	// count plus, with -progress, a stderr ticker, plus the telemetry
+	// plane when -status is live. Results do not depend on any of them
+	// (trial seeds derive from the trial index).
 	sweepOpts := func(name string) []experiment.Option {
 		opts := []experiment.Option{experiment.Workers(*jobs)}
+		if g := tp.liveGauges(); g != nil {
+			opts = append(opts, experiment.Telemetry(g))
+		}
+		var inner func(runner.Progress)
 		if *progress {
-			lastPct := -1
-			opts = append(opts, experiment.OnProgress(func(p runner.Progress) {
-				pct := 100 * p.Completed / p.Total
-				if pct == lastPct && p.Completed < p.Total {
-					return
-				}
-				lastPct = pct
-				fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials (%d%%), eta %v ",
-					name, p.Completed, p.Total, pct, p.Remaining.Round(time.Second))
-				if p.Completed == p.Total {
-					fmt.Fprintln(os.Stderr)
-				}
-			}))
+			inner = progressPrinter(name)
+		}
+		if cb := tp.progress(inner); cb != nil {
+			opts = append(opts, experiment.OnProgress(cb))
 		}
 		return opts
 	}
@@ -184,6 +200,7 @@ func run() int {
 	if *shardSpec != "" || *mergeDirs != "" {
 		smf := shardModeFlags{
 			defs:            defs,
+			plane:           tp,
 			survey:          *survey,
 			corpus:          *corpus,
 			siteTrials:      *siteTrials,
@@ -234,11 +251,13 @@ func run() int {
 	}
 	for _, d := range defs {
 		runSweep(d.Name, func(opts []experiment.Option) string {
+			tp.campaign(d.Name, d.Fingerprint(), "", d.Trials)
 			return d.Format(d.Run(opts...))
 		})
 	}
 	if *survey {
 		err := runSurvey(surveyFlags{
+			plane:           tp,
 			corpus:          *corpus,
 			siteTrials:      *siteTrials,
 			seed:            *seed,
@@ -269,6 +288,13 @@ func run() int {
 		}
 		ran = true
 	}
+	if *evTrace != "" {
+		if err := runEventsTrace(*events, *seed, *evTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "h2attack: -events-trace: %v\n", err)
+			return 1
+		}
+		ran = true
+	}
 	if *metricsOut != "" && len(snaps) > 0 {
 		data, err := obs.MarshalSweeps(snaps)
 		if err != nil {
@@ -287,13 +313,23 @@ func run() int {
 	return 0
 }
 
+// parseSeedSpec parses a trial selector: the seed, optionally
+// prefixed "seed=" (the -events / -events-trace flag value).
+func parseSeedSpec(spec string) (int64, error) {
+	seed, err := strconv.ParseInt(strings.TrimPrefix(spec, "seed="), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("want seed=N or N, got %q", spec)
+	}
+	return seed, nil
+}
+
 // runEventDump replays one full-attack trial with the flight recorder
 // attached and prints the recorded event stream. spec is the -events
 // flag value: the trial seed, optionally prefixed "seed=".
 func runEventDump(spec string) error {
-	seed, err := strconv.ParseInt(strings.TrimPrefix(spec, "seed="), 10, 64)
+	seed, err := parseSeedSpec(spec)
 	if err != nil {
-		return fmt.Errorf("want seed=N or N, got %q", spec)
+		return err
 	}
 	w := experiment.NewWorld()
 	rec := obs.NewRecorder(4096)

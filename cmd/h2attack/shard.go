@@ -7,13 +7,13 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/runner"
 	"repro/internal/shard"
+	"repro/internal/telemetry"
 	"repro/internal/website"
 )
 
@@ -28,7 +28,8 @@ import (
 // main. defs holds the flag-selected sweep definitions; the survey
 // fields mirror the -survey flags.
 type shardModeFlags struct {
-	defs []experiment.SweepDef
+	defs  []experiment.SweepDef
+	plane *telemetryPlane
 
 	survey     bool
 	corpus     int
@@ -78,23 +79,24 @@ func (f *shardModeFlags) newSurvey() (*experiment.Survey, error) {
 	}), nil
 }
 
-// progressFn builds the stderr progress reporter for one campaign
-// slice (same rendering as the single-process modes).
+// progressFn builds the progress reporter for one campaign slice: the
+// shared stderr line (same rendering as the single-process modes) plus
+// the telemetry plane's range gauge and tracker feed when -status is
+// live.
 func (f *shardModeFlags) progressFn(name string) func(runner.Progress) {
-	if !f.progress {
-		return nil
+	var inner func(runner.Progress)
+	if f.progress {
+		inner = progressPrinter(name)
 	}
-	lastPct := -1
+	g := f.plane.liveGauges()
+	cb := f.plane.progress(inner)
+	if g == nil {
+		return cb
+	}
 	return func(p runner.Progress) {
-		pct := 100 * p.Completed / p.Total
-		if pct == lastPct && p.Completed < p.Total {
-			return
-		}
-		lastPct = pct
-		fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials (%d%%), eta %v ",
-			name, p.Completed, p.Total, pct, p.Remaining.Round(time.Second))
-		if p.Completed == p.Total {
-			fmt.Fprintln(os.Stderr)
+		g.Set(telemetry.GRangeDone, int64(p.Completed))
+		if cb != nil {
+			cb(p)
 		}
 	}
 }
@@ -128,6 +130,14 @@ func runShardMode(spec, dir string, f shardModeFlags) error {
 	runSlice := func(name, fingerprint string, trials int,
 		run func(cfg pipeline.Config, st *experiment.ObsState, jsonl string) (pipeline.Summary, error)) error {
 		r := shard.Plan(trials, count)[idx]
+		if g := f.plane.liveGauges(); g != nil {
+			g.Set(telemetry.GShardIndex, int64(idx+1))
+			g.Set(telemetry.GShardCount, int64(count))
+			g.Set(telemetry.GRangeStart, int64(r.Start))
+			g.Set(telemetry.GRangeEnd, int64(r.End))
+			g.Set(telemetry.GRangeDone, 0)
+		}
+		f.plane.campaign(name, fingerprint, fmt.Sprintf("%d/%d", idx+1, count), r.End-r.Start)
 		cm := shard.CampaignManifest{
 			Campaign:    name,
 			Fingerprint: fingerprint,
@@ -151,6 +161,7 @@ func runShardMode(spec, dir string, f shardModeFlags) error {
 			OnProgress:      f.progressFn(name),
 			ExportQueue:     f.exportQueue,
 			WriterBuf:       f.exportBuf,
+			Gauges:          f.plane.liveGauges(),
 		}
 		sum, err := run(cfg, st, filepath.Join(dir, cm.Results))
 		if err != nil {

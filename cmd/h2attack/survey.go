@@ -5,7 +5,6 @@ import (
 	"os"
 	"os/signal"
 	"strings"
-	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/obs"
@@ -16,6 +15,7 @@ import (
 
 // surveyFlags carries the -survey mode's configuration out of main.
 type surveyFlags struct {
+	plane      *telemetryPlane
 	corpus     int
 	siteTrials int
 	seed       int64
@@ -89,6 +89,7 @@ func runSurvey(f surveyFlags) error {
 		s.SetMetrics(reg)
 	}
 
+	f.plane.campaign(s.Name(), s.Fingerprint(), "", s.Trials())
 	pcfg := pipeline.Config{
 		Workers:         f.jobs,
 		Checkpoint:      f.checkpoint,
@@ -97,22 +98,13 @@ func runSurvey(f surveyFlags) error {
 		Stop:            interruptChannel(),
 		ExportQueue:     f.exportQueue,
 		WriterBuf:       f.exportBuf,
+		Gauges:          f.plane.liveGauges(),
 	}
+	var inner func(runner.Progress)
 	if f.progress {
-		lastPct := -1
-		pcfg.OnProgress = func(p runner.Progress) {
-			pct := 100 * p.Completed / p.Total
-			if pct == lastPct && p.Completed < p.Total {
-				return
-			}
-			lastPct = pct
-			fmt.Fprintf(os.Stderr, "\rsurvey: %d/%d trials (%d%%), eta %v ",
-				p.Completed, p.Total, pct, p.Remaining.Round(time.Second))
-			if p.Completed == p.Total {
-				fmt.Fprintln(os.Stderr)
-			}
-		}
+		inner = progressPrinter("survey")
 	}
+	pcfg.OnProgress = f.plane.progress(inner)
 
 	sum, err := s.Run(pcfg, exporters...)
 	if err != nil {

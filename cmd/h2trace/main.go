@@ -7,6 +7,13 @@
 //
 //	h2trace -seed 7 -mode attack -out trace        # writes trace-*.csv
 //	h2trace -seed 7 -mode passive -out -           # records CSV to stdout
+//
+// -format perfetto switches from the CSV exports to a single
+// Perfetto/Chrome trace_event JSON timeline of the trial's
+// flight-recorder events, one track per simulated layer — load it at
+// https://ui.perfetto.dev or chrome://tracing:
+//
+//	h2trace -seed 7 -format perfetto -out trial.json
 package main
 
 import (
@@ -16,11 +23,14 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/h2sim"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
 	"repro/internal/website"
 )
 
@@ -30,14 +40,30 @@ func main() {
 
 func run() int {
 	var (
-		seed = flag.Int64("seed", 1, "trial seed")
-		mode = flag.String("mode", "attack", "adversary: passive | jitter | attack")
-		out  = flag.String("out", "trace", "output prefix, or - for records CSV on stdout")
+		seed   = flag.Int64("seed", 1, "trial seed")
+		mode   = flag.String("mode", "attack", "adversary: passive | jitter | attack")
+		out    = flag.String("out", "trace", "output prefix (csv) or file (perfetto); - for stdout")
+		format = flag.String("format", "csv", "export format: csv | perfetto")
 	)
 	flag.Parse()
 
+	var rec *obs.Recorder
+	cfg := h2sim.SessionConfig{Seed: *seed}
+	switch *format {
+	case "csv":
+	case "perfetto":
+		// The timeline renders the flight-recorder ring, so the trial
+		// runs with a recording sink attached (CSV mode keeps the zero
+		// sink — its exports read the ground-truth structures directly).
+		rec = obs.NewRecorder(4096)
+		cfg.Obs = obs.Sink{}.WithRecorder(rec)
+	default:
+		fmt.Fprintf(os.Stderr, "h2trace: unknown format %q (want csv or perfetto)\n", *format)
+		return 2
+	}
+
 	site := website.Survey(website.IdentityPermutation())
-	sess := h2sim.NewSession(site, h2sim.SessionConfig{Seed: *seed})
+	sess := h2sim.NewSession(site, cfg)
 	var atk *core.Attack
 	switch *mode {
 	case "passive":
@@ -50,7 +76,18 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "h2trace: unknown mode %q\n", *mode)
 		return 2
 	}
+	if rec != nil {
+		atk.Obs = cfg.Obs
+	}
 	sess.Run()
+
+	if rec != nil {
+		if err := writePerfetto(rec, *seed, *mode, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "h2trace: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	if *out == "-" {
 		if err := writeRecords(os.Stdout, atk); err != nil {
@@ -80,6 +117,26 @@ func run() int {
 		fmt.Printf("wrote %s\n", name)
 	}
 	return 0
+}
+
+// writePerfetto renders the trial's flight-recorder ring as
+// trace_event JSON. out is the target file (".json" is appended to a
+// bare prefix so the default -out writes trace.json), or - for stdout.
+func writePerfetto(rec *obs.Recorder, seed int64, mode, out string) error {
+	data := telemetry.AppendTrace(nil, rec.Events(), fmt.Sprintf("seed %d %s", seed, mode))
+	data = append(data, '\n')
+	if out == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if !strings.HasSuffix(out, ".json") {
+		out += ".json"
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
 }
 
 // writeRecords dumps the adversary's record observations.

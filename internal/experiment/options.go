@@ -4,6 +4,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 )
 
 // Option configures how a sweep executes its trials. Options affect
@@ -16,6 +17,7 @@ type sweepConfig struct {
 	workers    int
 	onProgress func(runner.Progress)
 	metrics    *obs.Registry
+	gauges     *telemetry.Gauges
 }
 
 // parse folds the option list into a config.
@@ -50,6 +52,15 @@ func OnProgress(f func(runner.Progress)) Option {
 // byte-identical at any worker count.
 func Metrics(reg *obs.Registry) Option {
 	return func(c *sweepConfig) { c.metrics = reg }
+}
+
+// Telemetry publishes the sweep's live health samples (worker pool,
+// in-flight trials, reorder-ring occupancy) into g for the status
+// server to scrape. Wall-side only: unlike Metrics, nothing fed
+// through g can reach the sweep's output — the rows and every
+// deterministic aggregate are byte-identical with or without it.
+func Telemetry(g *telemetry.Gauges) Option {
+	return func(c *sweepConfig) { c.gauges = g }
 }
 
 // setSegments labels the supplied registry's segments with the
@@ -90,6 +101,7 @@ func runTrials(n int, opts []Option, mk func(i int) TrialParams) []TrialResult {
 	sum, err := pipeline.Run(pipeline.Config{
 		Workers:    cfg.workers,
 		OnProgress: cfg.onProgress,
+		Gauges:     cfg.gauges,
 	}, pipeline.Fixed[TrialParams]{CampaignName: "sweep", N: n, Fn: mk},
 		newState, (*World).RunTrial, collect)
 	if err != nil {

@@ -92,12 +92,40 @@ type Event struct {
 // simulation, and dumped afterwards. Recording is allocation-free
 // (the ring is preallocated) and single-goroutine, like everything
 // else inside one trial.
+//
+// An optional kind filter (SetFilter) restricts recording to a subset
+// of event kinds. Filtered-out events are rejected before they touch
+// the ring: they consume no slot, evict nothing, and do not count
+// toward Total — so a noisy layer (per-packet netem drops) cannot
+// wash an interesting sparse signal (reset rounds) out of the ring.
 type Recorder struct {
 	ring    []Event
 	next    int
 	total   uint64
 	dropped uint64
+	filter  EventMask // 0 = record every kind
 }
+
+// EventMask is a bit set of EventKinds (bit k = kind k). The zero
+// mask means "no filter" on a Recorder: every kind records.
+type EventMask uint64
+
+// MaskOf builds a mask admitting exactly the given kinds.
+func MaskOf(kinds ...EventKind) EventMask {
+	var m EventMask
+	for _, k := range kinds {
+		m |= 1 << k
+	}
+	return m
+}
+
+// Has reports whether the mask admits kind k.
+func (m EventMask) Has(k EventKind) bool { return m&(1<<k) != 0 }
+
+// SetFilter restricts the recorder to the masked kinds (zero removes
+// the filter). The filter applies to subsequent Record calls only;
+// events already in the ring are kept.
+func (r *Recorder) SetFilter(m EventMask) { r.filter = m }
 
 // NewRecorder returns a recorder holding up to capacity events
 // (minimum 1).
@@ -108,7 +136,9 @@ func NewRecorder(capacity int) *Recorder {
 	return &Recorder{ring: make([]Event, 0, capacity)}
 }
 
-// Reset discards all recorded events, keeping the ring's capacity.
+// Reset discards all recorded events, keeping the ring's capacity and
+// the kind filter (the filter is a recorder-lifetime configuration,
+// not per-trial state).
 func (r *Recorder) Reset() {
 	r.ring = r.ring[:0]
 	r.next = 0
@@ -116,8 +146,13 @@ func (r *Recorder) Reset() {
 	r.dropped = 0
 }
 
-// Record appends one event, evicting the oldest when full.
+// Record appends one event, evicting the oldest when full. Events
+// rejected by the kind filter never reach the ring and count in
+// neither Total nor Dropped.
 func (r *Recorder) Record(at time.Duration, kind EventKind, a, b int64) {
+	if r.filter != 0 && !r.filter.Has(kind) {
+		return
+	}
 	r.total++
 	if len(r.ring) < cap(r.ring) {
 		r.ring = append(r.ring, Event{At: at, Kind: kind, A: a, B: b})

@@ -1,6 +1,10 @@
 package pipeline
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/telemetry"
+)
 
 // DefaultExportQueue is the async export stage's queue depth when
 // Config.ExportQueue is zero.
@@ -42,12 +46,16 @@ type exportQueue[R any] struct {
 	failed   error
 	done     chan struct{}
 	process  func(*exportItem[R]) error
+	gauges   *telemetry.Gauges
 }
 
 // newExportQueue starts the writer goroutine. process handles one
 // item (export or checkpoint token); its first error stops the writer
-// and surfaces through put/close.
-func newExportQueue[R any](depth int, process func(*exportItem[R]) error) *exportQueue[R] {
+// and surfaces through put/close. gauges (nil when telemetry is off)
+// samples the queue's depth and high-water so a status scrape shows
+// whether the campaign is compute-bound (shallow queue) or
+// writer-bound (queue pinned at depth).
+func newExportQueue[R any](depth int, gauges *telemetry.Gauges, process func(*exportItem[R]) error) *exportQueue[R] {
 	if depth < 1 {
 		depth = 1
 	}
@@ -58,6 +66,7 @@ func newExportQueue[R any](depth int, process func(*exportItem[R]) error) *expor
 		wakeAt:  (depth + 1) / 2,
 		done:    make(chan struct{}),
 		process: process,
+		gauges:  gauges,
 	}
 	q.notFull.L = &q.mu
 	q.notEmpty.L = &q.mu
@@ -79,6 +88,7 @@ func (q *exportQueue[R]) putTrial(i int, r *R) bool {
 	}
 	q.buf = append(q.buf, exportItem[R]{i: i})
 	q.buf[len(q.buf)-1].r = *r
+	q.sampleDepth()
 	q.wake()
 	q.mu.Unlock()
 	return true
@@ -93,9 +103,22 @@ func (q *exportQueue[R]) putCkpt(next int) bool {
 		return false
 	}
 	q.buf = append(q.buf, exportItem[R]{i: next, ckpt: true})
+	q.sampleDepth()
 	q.wake()
 	q.mu.Unlock()
 	return true
+}
+
+// sampleDepth publishes the queue occupancy — items put but not yet
+// processed — to the telemetry gauges. The depth gauge is maintained
+// as a counter pair (Add +1 on put, -1 after q.process completes an
+// item), so the writer's in-progress batch still counts as backlog;
+// the high-water gauge rides the same increment. Caller holds q.mu,
+// but the gauge cells are atomics, so the writer's decrements need no
+// lock.
+func (q *exportQueue[R]) sampleDepth() {
+	d := q.gauges.Add(telemetry.GExportQueueDepth, 1)
+	q.gauges.SetMax(telemetry.GExportQueueHighWater, d)
 }
 
 // waitSlot blocks until the producer buffer has room, reporting false
@@ -169,8 +192,12 @@ func (q *exportQueue[R]) writer() {
 				q.buf = q.buf[:0]
 				q.notFull.Broadcast()
 				q.mu.Unlock()
+				// The failed item, the rest of this batch, and the
+				// discarded producer buffer no longer count as backlog.
+				q.gauges.Set(telemetry.GExportQueueDepth, 0)
 				return
 			}
+			q.gauges.Add(telemetry.GExportQueueDepth, -1)
 		}
 	}
 }

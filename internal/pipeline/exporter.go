@@ -3,6 +3,8 @@ package pipeline
 import (
 	"encoding/json"
 	"fmt"
+
+	"repro/internal/telemetry"
 )
 
 // Meta is the campaign metadata handed to every exporter at Begin.
@@ -33,6 +35,12 @@ type Meta struct {
 	// happen off the emit goroutine, so an extra flusher goroutine
 	// overlaps encode with file I/O without reordering anything.
 	AsyncExport bool
+
+	// Gauges is the campaign's live telemetry block (nil when the
+	// plane is off). Exporters that write files publish their byte
+	// cursor through it (e.g. JSONL sets GExportBytes); write-only —
+	// nothing an exporter emits may depend on a gauge value.
+	Gauges *telemetry.Gauges
 }
 
 // Exporter consumes the pipeline's ordered result stream. It is the

@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"repro/internal/telemetry"
 )
 
 // JSONL streams one JSON line per trial to a file — the bounded-
@@ -35,6 +37,7 @@ type JSONL[P, R any] struct {
 	offset  int64
 	lines   int64
 	resumed bool
+	gauges  *telemetry.Gauges // campaign telemetry (nil when off)
 }
 
 // lineWriter is the buffered writer behind Export: a plain
@@ -149,11 +152,13 @@ func (j *JSONL[P, R]) Begin(m Meta) error {
 	// goroutine performs the file writes, overlapping encode with
 	// I/O. Inline campaigns keep the plain bufio.Writer.
 	if m.AsyncExport {
-		j.wb = newWriteBehind(f, size)
+		j.wb = newWriteBehind(f, size, m.Gauges)
 		j.w = j.wb
 	} else {
 		j.w = bufio.NewWriterSize(f, size)
 	}
+	j.gauges = m.Gauges
+	j.gauges.Set(telemetry.GExportBytes, j.offset)
 	return nil
 }
 
@@ -177,6 +182,7 @@ func (j *JSONL[P, R]) Export(i int, p P, r R) error {
 			line = append(line, '\n')
 			j.offset += int64(len(line) - start)
 			j.lines++
+			j.gauges.Set(telemetry.GExportBytes, j.offset)
 			return j.wb.commitAppend(line)
 		}
 		line, err := j.app.AppendLine(j.scratch[:0], i, p, r)
@@ -190,6 +196,7 @@ func (j *JSONL[P, R]) Export(i int, p P, r R) error {
 		}
 		j.offset += int64(len(line))
 		j.lines++
+		j.gauges.Set(telemetry.GExportBytes, j.offset)
 		return nil
 	}
 	v, err := j.encode(i, p, r)
@@ -206,6 +213,7 @@ func (j *JSONL[P, R]) Export(i int, p P, r R) error {
 	}
 	j.offset += int64(len(data))
 	j.lines++
+	j.gauges.Set(telemetry.GExportBytes, j.offset)
 	return nil
 }
 

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 )
 
 // Config tunes one Run. The zero value runs serially-scheduled on all
@@ -135,6 +136,16 @@ type Config struct {
 	// (JSONL uses it for its bufio.Writer, overriding its default).
 	// Batching only; never affects exported bytes.
 	WriterBuf int
+
+	// Gauges, when non-nil, receives live pipeline health samples —
+	// export-queue depth and high-water, write-behind backlog,
+	// exported-trial/byte cursors, and checkpoint lag — alongside the
+	// runner gauges (the same *Gauges is handed down to the worker
+	// pool). Write-only from the pipeline's perspective: the telemetry
+	// status server samples it, nothing is read back, so exported
+	// bytes are identical with the plane on or off. Nil (default)
+	// disables it at zero cost.
+	Gauges *telemetry.Gauges
 }
 
 // Summary reports what one Run invocation did.
@@ -235,17 +246,27 @@ func Run[P, R, S any](cfg Config, gen Generator[P], newState func() S, trial fun
 		}
 		return states, nil
 	}
+	g := cfg.Gauges
 	saveCheckpoint := func(next int, done bool) error {
 		states, err := checkpointStates()
 		if err != nil {
 			return err
 		}
-		return ck.save(next, done, states)
+		if err := ck.save(next, done, states); err != nil {
+			return err
+		}
+		// Checkpoint lag is read as GExportedTrials-GCkptTrials and
+		// GExportBytes-GCkptBytes: both cursors are sampled after the
+		// save, so the lag gauges describe durable state.
+		g.Set(telemetry.GCkptTrials, int64(next))
+		g.Set(telemetry.GCkptBytes, g.Load(telemetry.GExportBytes))
+		return nil
 	}
 
 	meta := Meta{
 		Name: gen.Name(), Trials: n, Start: sum.Start, Resumed: resumed,
 		WriterBuf: cfg.WriterBuf, AsyncExport: cfg.ExportQueue >= 0,
+		Gauges: cfg.Gauges,
 	}
 	for _, e := range exporters {
 		if err := e.Begin(meta); err != nil {
@@ -276,7 +297,7 @@ func Run[P, R, S any](cfg Config, gen Generator[P], newState func() S, trial fun
 		if depth == 0 {
 			depth = DefaultExportQueue
 		}
-		q = newExportQueue(depth, func(it *exportItem[R]) error {
+		q = newExportQueue(depth, cfg.Gauges, func(it *exportItem[R]) error {
 			if it.ckpt {
 				return saveCheckpoint(it.i, false)
 			}
@@ -299,7 +320,7 @@ func Run[P, R, S any](cfg Config, gen Generator[P], newState func() S, trial fun
 	exported := 0
 	var runErr error
 	runner.StreamWith(execEnd, runner.StreamOptions{
-		Options: runner.Options{Workers: cfg.Workers, OnProgress: cfg.OnProgress, OnTrialDone: cfg.OnTrialDone},
+		Options: runner.Options{Workers: cfg.Workers, OnProgress: cfg.OnProgress, OnTrialDone: cfg.OnTrialDone, Gauges: cfg.Gauges},
 		Start:   sum.Start,
 		Window:  cfg.Window,
 		Batch:   cfg.Batch,
@@ -316,6 +337,7 @@ func Run[P, R, S any](cfg Config, gen Generator[P], newState func() S, trial fun
 				return false
 			}
 			exported++
+			g.Set(telemetry.GExportedTrials, int64(i+1))
 			if ck != nil && exported%every == 0 {
 				if !q.putCkpt(i + 1) {
 					runErr = q.err()
@@ -330,6 +352,7 @@ func Run[P, R, S any](cfg Config, gen Generator[P], newState func() S, trial fun
 			return false
 		}
 		exported++
+		g.Set(telemetry.GExportedTrials, int64(i+1))
 		if ck != nil && exported%every == 0 {
 			if ckErr := saveCheckpoint(i+1, false); ckErr != nil {
 				runErr = ckErr

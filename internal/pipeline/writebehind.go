@@ -3,6 +3,8 @@ package pipeline
 import (
 	"io"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // writeBehind is a buffered writer whose underlying writes happen on
@@ -31,6 +33,7 @@ type writeBehind struct {
 	err     error
 	closed  bool
 	done    chan struct{}
+	gauges  *telemetry.Gauges // nil when telemetry is off
 }
 
 // chunkPool recycles write-behind chunks across campaigns: a process
@@ -48,17 +51,19 @@ func getChunk(size int) []byte {
 
 // newWriteBehind starts the flusher goroutine. size is the chunk
 // size; two chunks are in flight at most, so peak buffering is
-// 2*size bytes.
-func newWriteBehind(dst io.Writer, size int) *writeBehind {
+// 2*size bytes. gauges (nil when telemetry is off) samples the
+// flusher backlog (0 or 1 chunk with the two-chunk design).
+func newWriteBehind(dst io.Writer, size int, gauges *telemetry.Gauges) *writeBehind {
 	if size < 1 {
 		size = 1
 	}
 	w := &writeBehind{
-		dst:  dst,
-		cur:  getChunk(size),
-		free: getChunk(size),
-		size: size,
-		done: make(chan struct{}),
+		dst:    dst,
+		cur:    getChunk(size),
+		free:   getChunk(size),
+		size:   size,
+		done:   make(chan struct{}),
+		gauges: gauges,
 	}
 	w.handoff.L = &w.mu
 	go w.flusher()
@@ -117,6 +122,7 @@ func (w *writeBehind) rotate() error {
 	w.pending = w.cur
 	w.cur = w.free[:0]
 	w.free = nil
+	w.gauges.Set(telemetry.GWriteBehindPending, 1)
 	w.handoff.Signal()
 	w.mu.Unlock()
 	return nil
@@ -190,6 +196,7 @@ func (w *writeBehind) flusher() {
 		w.mu.Lock()
 		w.pending = nil
 		w.free = chunk[:0]
+		w.gauges.Set(telemetry.GWriteBehindPending, 0)
 		if err != nil && w.err == nil {
 			w.err = err
 		}

@@ -25,6 +25,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Progress is a snapshot of a running batch, delivered to
@@ -42,6 +44,13 @@ type Progress struct {
 	// Remaining estimates the wall-clock time left, extrapolating
 	// from the mean per-trial cost so far (0 until one trial is done).
 	Remaining time.Duration
+	// TrialsPerSec is the wall throughput so far, Completed/Elapsed
+	// (0 until the clock has advanced). This is the single source of
+	// the campaign rate: the -progress ETA line and the telemetry
+	// /status endpoint both report this field, so they can never
+	// disagree. Wall-clock derived and therefore non-deterministic —
+	// like Elapsed/Remaining it must stay out of exported bytes.
+	TrialsPerSec float64
 }
 
 // Options configures a Run.
@@ -65,6 +74,15 @@ type Options struct {
 	// metrics registry's wall section) must keep them out of any
 	// deterministic aggregate.
 	OnTrialDone func(index int, elapsed time.Duration)
+
+	// Gauges, when non-nil, receives live health samples: worker-pool
+	// size and busy count, cumulative trials/claims/busy-nanoseconds,
+	// and reorder-ring occupancy (in-flight and parked trials). The
+	// runner only writes gauges — they are sampled by the telemetry
+	// status server and never read back, so they cannot influence the
+	// emitted stream. Nil (the default) disables the plane at zero
+	// cost; setting it enables per-trial wall timing like OnTrialDone.
+	Gauges *telemetry.Gauges
 }
 
 // TrialError reports a trial that panicked.
@@ -144,17 +162,19 @@ type state struct {
 	start       time.Time
 	onProgress  func(Progress)
 	onTrialDone func(int, time.Duration)
+	gauges      *telemetry.Gauges
 }
 
 // newRunState builds the completion bookkeeping for a batch of total
 // trials.
 func newRunState(total int, opts Options) *state {
-	return &state{total: total, start: time.Now(), onProgress: opts.OnProgress, onTrialDone: opts.OnTrialDone}
+	return &state{total: total, start: time.Now(), onProgress: opts.OnProgress, onTrialDone: opts.OnTrialDone, gauges: opts.Gauges}
 }
 
 // timed reports whether trials must be wall-clock timed (only when a
-// consumer asked, so the default path pays nothing).
-func (st *state) timed() bool { return st.onTrialDone != nil }
+// consumer asked — the progress-timing callback or the telemetry
+// busy-fraction gauges — so the default path pays nothing).
+func (st *state) timed() bool { return st.onTrialDone != nil || st.gauges != nil }
 
 // finishOne records one trial completion and fires the callbacks,
 // serialized under the state lock.
@@ -177,22 +197,33 @@ func (st *state) finishLocked(i int, failure *TrialError, elapsed time.Duration)
 	if failure != nil {
 		st.failed++
 	}
+	st.gauges.Add(telemetry.GTrialsDone, 1)
+	st.gauges.Add(telemetry.GBusyNanos, int64(elapsed))
 	if st.onTrialDone != nil {
 		st.onTrialDone(i, elapsed)
 	}
 	if st.onProgress != nil {
-		p := Progress{
-			Completed: st.completed,
-			Failed:    st.failed,
-			Total:     st.total,
-			Elapsed:   time.Since(st.start),
-		}
-		if p.Completed > 0 && p.Completed < p.Total {
-			perTrial := p.Elapsed / time.Duration(p.Completed)
-			p.Remaining = perTrial * time.Duration(p.Total-p.Completed)
-		}
-		st.onProgress(p)
+		st.onProgress(st.progressLocked())
 	}
+}
+
+// progressLocked builds the Progress snapshot for the current
+// completion counts; the caller holds st.mu.
+func (st *state) progressLocked() Progress {
+	p := Progress{
+		Completed: st.completed,
+		Failed:    st.failed,
+		Total:     st.total,
+		Elapsed:   time.Since(st.start),
+	}
+	if p.Completed > 0 && p.Completed < p.Total {
+		perTrial := p.Elapsed / time.Duration(p.Completed)
+		p.Remaining = perTrial * time.Duration(p.Total-p.Completed)
+	}
+	if p.Completed > 0 && p.Elapsed > 0 {
+		p.TrialsPerSec = float64(p.Completed) / p.Elapsed.Seconds()
+	}
+	return p
 }
 
 // protect runs one trial and converts a panic into a TrialError.

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // StreamOptions configures a StreamWith run. The embedded Options
@@ -109,6 +111,9 @@ func StreamWith[S, T any](n int, opts StreamOptions, newState func() S, fn func(
 	// completion and ETA over the trials it still has to execute.
 	st := newRunState(remaining, opts.Options)
 
+	g := opts.Gauges
+	g.Set(telemetry.GWorkers, int64(workers))
+
 	if workers == 1 {
 		// Serial path: run and emit inline; the window is irrelevant
 		// because results are emitted as they complete.
@@ -117,7 +122,10 @@ func StreamWith[S, T any](n int, opts StreamOptions, newState func() S, fn func(
 			if stopRequested(opts.Stop) {
 				return
 			}
+			g.Add(telemetry.GClaims, 1)
+			g.Set(telemetry.GWorkersBusy, 1)
 			result, failure, elapsed := runTimed(st, i, ws, fn)
+			g.Set(telemetry.GWorkersBusy, 0)
 			st.finishOne(i, failure, elapsed)
 			if !emit(i, result, failure) {
 				return
@@ -133,6 +141,7 @@ func StreamWith[S, T any](n int, opts StreamOptions, newState func() S, fn func(
 		n:        n,
 		ring:     make([]streamSlot[T], opts.windowFor(workers)),
 	}
+	g.Set(telemetry.GRingCapacity, int64(len(sw.ring)))
 	sw.cond = sync.NewCond(&sw.mu)
 	batch := opts.Batch
 	if batch < 1 {
@@ -163,6 +172,7 @@ func StreamWith[S, T any](n int, opts StreamOptions, newState func() S, fn func(
 					buf = make([]chunkResult[T], count)
 				}
 				buf = buf[:count]
+				g.Add(telemetry.GWorkersBusy, 1)
 				for k := 0; k < count; k++ {
 					result, failure, elapsed := runTimed(st, start+k, ws, fn)
 					buf[k] = chunkResult[T]{result: result, err: failure, elapsed: elapsed}
@@ -171,6 +181,7 @@ func StreamWith[S, T any](n int, opts StreamOptions, newState func() S, fn func(
 						break
 					}
 				}
+				g.Add(telemetry.GWorkersBusy, -1)
 				if !sw.deliverChunk(start, buf, emit) {
 					return
 				}
@@ -203,6 +214,7 @@ type streamState[T any] struct {
 	next     int // next index to hand to a worker
 	head     int // next index to emit
 	n        int
+	parked   int // completed trials in the ring awaiting an earlier index
 	stopped  bool
 	ring     []streamSlot[T] // reorder buffer, indexed by index % len(ring)
 
@@ -236,6 +248,9 @@ func (sw *streamState[T]) claim(batch int, stop <-chan struct{}) (start, count i
 		if sw.next+want <= sw.head+len(sw.ring) {
 			start = sw.next
 			sw.next += want
+			g := sw.runState.gauges
+			g.Add(telemetry.GClaims, 1)
+			g.Set(telemetry.GInFlight, int64(sw.next-sw.head))
 			return start, want, true
 		}
 		sw.cond.Wait()
@@ -283,6 +298,7 @@ func (sw *streamState[T]) deliverChunk(start int, chunk []chunkResult[T], emit f
 		// buffer must not retain a second reference past delivery.
 		chunk[k] = chunkResult[T]{}
 	}
+	sw.parked += len(chunk)
 	for sw.head < sw.n {
 		head := &sw.ring[sw.head%len(sw.ring)]
 		if !head.done {
@@ -293,6 +309,7 @@ func (sw *streamState[T]) deliverChunk(start int, chunk []chunkResult[T], emit f
 		*head = zero
 		idx := sw.head
 		sw.head++
+		sw.parked--
 		// emit runs under the lock: exporters see a serialized,
 		// index-ordered stream without further synchronization.
 		if !emit(idx, result, err) {
@@ -301,6 +318,9 @@ func (sw *streamState[T]) deliverChunk(start int, chunk []chunkResult[T], emit f
 			break
 		}
 	}
+	g := st.gauges
+	g.Set(telemetry.GRingParked, int64(sw.parked))
+	g.Set(telemetry.GInFlight, int64(sw.next-sw.head))
 	// Either the head advanced (windowed-out workers can claim again)
 	// or the stream stopped (waiters must exit).
 	sw.cond.Broadcast()

@@ -36,21 +36,43 @@ go build -o "$bin" ./cmd/h2attack
 
 # Shard status lines go to stderr so this script's stdout carries
 # only the merged output — `scripts/shard.sh ... > out` is then
-# byte-comparable to the same flags run in a single process.
+# byte-comparable to the same flags run in a single process. Each
+# shard's lines (stdout and stderr both) are prefixed "[shard i/N]"
+# so the N interleaved progress streams stay attributable. POSIX sh
+# has no pipefail, so each shard records its exit status in a file
+# the wait loop checks after the prefixer pipeline drains.
 pids=""
 dirs=""
 i=1
 while [ "$i" -le "$N" ]; do
-	"$bin" "$@" -shard "$i/$N" -shard-dir "$DIR/shard-$i" >&2 &
+	{
+		"$bin" "$@" -shard "$i/$N" -shard-dir "$DIR/shard-$i" 2>&1
+		echo $? >"$DIR/shard-$i.status"
+	} | sed "s|^|[shard $i/$N] |" >&2 &
 	pids="$pids $!"
 	dirs="$dirs,$DIR/shard-$i"
 	i=$((i + 1))
 done
 
-fail=0
 for p in $pids; do
-	wait "$p" || fail=1
+	wait "$p" || true
 done
+
+fail=0
+ok=0
+i=1
+while [ "$i" -le "$N" ]; do
+	st=$(cat "$DIR/shard-$i.status" 2>/dev/null || echo missing)
+	if [ "$st" = "0" ]; then
+		ok=$((ok + 1))
+	else
+		echo "shard.sh: shard $i/$N failed (exit status: $st)" >&2
+		fail=1
+	fi
+	rm -f "$DIR/shard-$i.status"
+	i=$((i + 1))
+done
+echo "shard.sh: $ok/$N shards complete" >&2
 if [ "$fail" -ne 0 ]; then
 	echo "shard.sh: a shard process failed; fix or rerun to resume" >&2
 	exit 1
